@@ -1,0 +1,221 @@
+package xft
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its experiment at
+// "quick" scale (CI-sized; see internal/bench.Scale) and reports the
+// headline numbers as custom metrics. Full-scale sweeps run through
+// cmd/xft-bench.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/bench"
+	"github.com/xft-consensus/xft/internal/reliability"
+)
+
+var quick = bench.Scale{Quick: true}
+
+// peakKops extracts the highest throughput in a series output.
+func reportSeries(b *testing.B, out string) {
+	b.Helper()
+	var peak float64
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 {
+			var v float64
+			if _, err := sscan(fields[2], &v); err == nil && v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak > 0 {
+		b.ReportMetric(peak, "peak-kops/s")
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	var err error
+	n := 0
+	*v, err = parseFloat(s)
+	if err == nil {
+		n = 1
+	}
+	return n, err
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	var frac, div float64 = 0, 1
+	neg := false
+	i := 0
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	seen := false
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		v = v*10 + float64(s[i]-'0')
+		seen = true
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			frac = frac*10 + float64(s[i]-'0')
+			div *= 10
+			seen = true
+		}
+	}
+	if !seen || i != len(s) {
+		return 0, errNotFloat
+	}
+	v += frac / div
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+var errNotFloat = errorString("not a float")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// BenchmarkFig7a regenerates Figure 7a: 1/0 microbenchmark, t = 1.
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig7(&buf, "a", quick)
+		b.Log("\n" + buf.String())
+		reportSeries(b, buf.String())
+	}
+}
+
+// BenchmarkFig7b regenerates Figure 7b: 4/0 microbenchmark, t = 1.
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig7(&buf, "b", quick)
+		b.Log("\n" + buf.String())
+		reportSeries(b, buf.String())
+	}
+}
+
+// BenchmarkFig7c regenerates Figure 7c: 1/0 microbenchmark, t = 2.
+func BenchmarkFig7c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig7(&buf, "c", quick)
+		b.Log("\n" + buf.String())
+		reportSeries(b, buf.String())
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: CPU usage vs throughput.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig8(&buf, quick)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: XPaxos under faults.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig9(&buf, quick)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: the ZooKeeper macro-benchmark.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Fig10(&buf, quick)
+		b.Log("\n" + buf.String())
+		reportSeries(b, buf.String())
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (guarantee matrix).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Table1(&buf)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (synchronous groups).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Table2(&buf)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (EC2 RTT quantiles).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Table3Report(&buf, quick)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkTables5to8 regenerates the Appendix D reliability tables.
+func BenchmarkTables5to8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Tables5to8(&buf)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkFig2and6Patterns regenerates the message-pattern counts of
+// Figures 2 and 6.
+func BenchmarkFig2and6Patterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.PatternReport(&buf)
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkReliabilityXFTConsistency measures the analytical pipeline
+// itself (big.Float triple sum).
+func BenchmarkReliabilityXFTConsistency(b *testing.B) {
+	p := reliability.FromNines(5, 4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reliability.ConsistencyXFT(2, p)
+	}
+}
+
+// BenchmarkLiveClusterInvoke measures end-to-end latency of the public
+// API on the in-process live runtime with real Ed25519 signatures.
+func BenchmarkLiveClusterInvoke(b *testing.B) {
+	cluster, err := NewCluster(Options{T: 1, NewApp: func() Application { return kv.NewStore() }, BatchSize: 1, Delta: 200 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	client := cluster.NewClient()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Invoke(kv.PutOp("bench", []byte("v"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

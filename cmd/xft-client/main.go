@@ -1,0 +1,119 @@
+// Command xft-client issues operations against an xft-server cluster.
+//
+//	xft-client -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 \
+//	           -listen :7100 create /config "v1"
+//	xft-client ... get /config
+//	xft-client ... set /config "v2"
+//	xft-client ... ls /
+//	xft-client ... bench 100        # 100 sequential 1kB writes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/zk"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/transport"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+func main() {
+	listen := flag.String("listen", ":7100", "client listen address (replicas reply here)")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for all replicas")
+	clientID := flag.Int("client-id", 1000, "client node id (≥1000, unique per client)")
+	t := flag.Int("t", 1, "cluster fault threshold")
+	seed := flag.Int64("seed", 1, "key seed (must match the servers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: xft-client [flags] <create|get|set|delete|ls|bench> [args]")
+	}
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transport.RegisterXPaxosMessages()
+	n := 2**t + 1
+	suite := crypto.NewEd25519Suite(n+1024, *seed)
+
+	done := make(chan []byte, 1)
+	cl := xpaxos.NewClient(smr.NodeID(*clientID), xpaxos.ClientConfig{
+		N: n, T: *t, Suite: crypto.NewMeter(suite),
+		RequestTimeout: 2 * time.Second,
+		TSBase:         uint64(time.Now().UnixNano()),
+		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- rep },
+	})
+	node, err := transport.NewNode(smr.NodeID(*clientID), cl, *listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go node.Run()
+	defer node.Stop()
+
+	invoke := func(op []byte) []byte {
+		node.Submit(smr.Invoke{Op: op})
+		select {
+		case rep := <-done:
+			return rep
+		case <-time.After(*timeout):
+			log.Fatal("operation timed out")
+			return nil
+		}
+	}
+
+	switch args[0] {
+	case "create":
+		rep := invoke(zk.CreateOp(args[1], []byte(argOr(args, 2, "")), zk.ModePersistent))
+		fmt.Printf("status=%d\n", zk.ReplyStatus(rep))
+	case "get":
+		rep := invoke(zk.GetOp(args[1]))
+		if data, ver, err := zk.ReplyData(rep); err == nil {
+			fmt.Printf("%s (version %d)\n", data, ver)
+		} else {
+			fmt.Printf("status=%d\n", zk.ReplyStatus(rep))
+		}
+	case "set":
+		rep := invoke(zk.SetOp(args[1], []byte(argOr(args, 2, "")), -1))
+		fmt.Printf("status=%d\n", zk.ReplyStatus(rep))
+	case "delete":
+		rep := invoke(zk.DeleteOp(args[1], -1))
+		fmt.Printf("status=%d\n", zk.ReplyStatus(rep))
+	case "ls":
+		rep := invoke(zk.ChildrenOp(args[1]))
+		if kids, err := zk.ReplyChildren(rep); err == nil {
+			for _, k := range kids {
+				fmt.Println(k)
+			}
+		} else {
+			fmt.Printf("status=%d\n", zk.ReplyStatus(rep))
+		}
+	case "bench":
+		var count int
+		fmt.Sscanf(argOr(args, 1, "100"), "%d", &count)
+		invoke(zk.CreateOp("/bench", nil, zk.ModePersistent))
+		payload := make([]byte, 1024)
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			invoke(zk.SetOp("/bench", payload, -1))
+		}
+		el := time.Since(start)
+		fmt.Printf("%d writes in %v (%.1f ops/s, %.1f ms/op)\n",
+			count, el.Round(time.Millisecond), float64(count)/el.Seconds(),
+			el.Seconds()*1000/float64(count))
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func argOr(args []string, i int, def string) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return def
+}

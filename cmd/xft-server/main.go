@@ -1,0 +1,75 @@
+// Command xft-server runs one XPaxos replica over TCP, replicating the
+// ZooKeeper-like coordination service.
+//
+// A three-replica local cluster (t = 1):
+//
+//	xft-server -id 0 -listen :7000 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 &
+//	xft-server -id 1 -listen :7001 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 &
+//	xft-server -id 2 -listen :7002 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 &
+//
+// Then use xft-client to issue operations. All replicas must share the
+// same -seed (it derives the deterministic key material; a production
+// deployment would provision real keys instead).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/zk"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/transport"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+func main() {
+	id := flag.Int("id", 0, "replica id (0..n-1)")
+	listen := flag.String("listen", ":7000", "listen address")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for all replicas")
+	t := flag.Int("t", 1, "fault threshold (n = 2t+1)")
+	delta := flag.Duration("delta", 500*time.Millisecond, "synchrony bound Δ")
+	seed := flag.Int64("seed", 1, "deterministic key seed (must match across the cluster)")
+	fd := flag.Bool("fd", true, "enable fault detection")
+	flag.Parse()
+
+	peers, err := transport.ParsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transport.RegisterXPaxosMessages()
+
+	n := 2**t + 1
+	suite := crypto.NewEd25519Suite(n+1024, *seed)
+	cfg := xpaxos.Config{
+		N: n, T: *t,
+		Suite:              crypto.NewMeter(suite),
+		Delta:              *delta,
+		CheckpointInterval: 256,
+		EnableFD:           *fd,
+		OnViewChange: func(v smr.View, at time.Duration) {
+			log.Printf("installed view %d (group %v)", v, xpaxos.SyncGroup(n, *t, v))
+		},
+		OnFaultDetected: func(culprit smr.NodeID, kind string, sn smr.SeqNum) {
+			log.Printf("FAULT DETECTED: replica %d, kind=%s, sn=%d — replace the machine", culprit, kind, sn)
+		},
+	}
+	replica := xpaxos.NewReplica(smr.NodeID(*id), cfg, zk.NewStore())
+	node, err := transport.NewNode(smr.NodeID(*id), replica, *listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("xft-server: replica %d/%d listening on %s (t=%d, Δ=%v, FD=%v)",
+		*id, n, node.Addr(), *t, *delta, *fd)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		node.Stop()
+	}()
+	node.Run()
+}

@@ -1,0 +1,44 @@
+// Quickstart: a 3-replica XPaxos cluster (t = 1) replicating a
+// key-value store in-process, exercised through the public xft API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xft "github.com/xft-consensus/xft"
+	"github.com/xft-consensus/xft/internal/apps/kv"
+)
+
+func main() {
+	cluster, err := xft.NewCluster(xft.Options{
+		T:      1, // tolerate one fault of any kind outside anarchy
+		NewApp: func() xft.Application { return kv.NewStore() },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	fmt.Printf("started XPaxos cluster: n=%d replicas, t=%d\n", cluster.N(), cluster.T())
+
+	client := cluster.NewClient()
+	if _, err := client.Invoke(kv.PutOp("greeting", []byte("hello, xft"))); err != nil {
+		log.Fatal(err)
+	}
+	rep, lat, err := client.InvokeTimed(kv.GetOp("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep[0] != kv.StatusOK {
+		log.Fatalf("get failed: status %d", rep[0])
+	}
+	fmt.Printf("get(greeting) = %q  (committed in %v)\n", rep[1:], lat)
+
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("entry-%d", i)
+		if _, err := client.Invoke(kv.PutOp(key, []byte{byte(i)})); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("committed 11 operations through the synchronous group")
+}

@@ -1,0 +1,213 @@
+package zk
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := NewStore()
+	rep := s.Execute(CreateOp("/app", []byte("cfg"), ModePersistent))
+	if ReplyStatus(rep) != StatusOK {
+		t.Fatalf("create status %d", ReplyStatus(rep))
+	}
+	if p, _ := ReplyPath(rep); p != "/app" {
+		t.Fatalf("created path %q", p)
+	}
+	data, ver, err := ReplyData(s.Execute(GetOp("/app")))
+	if err != nil || !bytes.Equal(data, []byte("cfg")) || ver != 0 {
+		t.Fatalf("get: %q v%d err=%v", data, ver, err)
+	}
+	if st := ReplyStatus(s.Execute(SetOp("/app", []byte("cfg2"), -1))); st != StatusOK {
+		t.Fatalf("set status %d", st)
+	}
+	data, ver, _ = ReplyData(s.Execute(GetOp("/app")))
+	if !bytes.Equal(data, []byte("cfg2")) || ver != 1 {
+		t.Fatalf("after set: %q v%d", data, ver)
+	}
+	if st := ReplyStatus(s.Execute(DeleteOp("/app", -1))); st != StatusOK {
+		t.Fatalf("delete status %d", st)
+	}
+	if st := ReplyStatus(s.Execute(ExistsOp("/app"))); st != StatusNoNode {
+		t.Fatalf("exists after delete: %d", st)
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	s := NewStore()
+	if st := ReplyStatus(s.Execute(CreateOp("/a/b", nil, ModePersistent))); st != StatusNoParent {
+		t.Fatalf("create orphan status %d, want NoParent", st)
+	}
+	s.Execute(CreateOp("/a", nil, ModePersistent))
+	if st := ReplyStatus(s.Execute(CreateOp("/a/b", nil, ModePersistent))); st != StatusOK {
+		t.Fatalf("create child status %d", st)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s := NewStore()
+	s.Execute(CreateOp("/x", nil, ModePersistent))
+	if st := ReplyStatus(s.Execute(CreateOp("/x", nil, ModePersistent))); st != StatusNodeExists {
+		t.Fatalf("duplicate create status %d", st)
+	}
+}
+
+func TestDeleteNonEmptyFails(t *testing.T) {
+	s := NewStore()
+	s.Execute(CreateOp("/a", nil, ModePersistent))
+	s.Execute(CreateOp("/a/b", nil, ModePersistent))
+	if st := ReplyStatus(s.Execute(DeleteOp("/a", -1))); st != StatusNotEmpty {
+		t.Fatalf("delete non-empty status %d", st)
+	}
+}
+
+func TestVersionedSetAndDelete(t *testing.T) {
+	s := NewStore()
+	s.Execute(CreateOp("/v", []byte("0"), ModePersistent))
+	if st := ReplyStatus(s.Execute(SetOp("/v", []byte("1"), 5))); st != StatusBadVersion {
+		t.Fatalf("set with wrong version: %d", st)
+	}
+	if st := ReplyStatus(s.Execute(SetOp("/v", []byte("1"), 0))); st != StatusOK {
+		t.Fatalf("set with right version: %d", st)
+	}
+	if st := ReplyStatus(s.Execute(DeleteOp("/v", 0))); st != StatusBadVersion {
+		t.Fatalf("delete with stale version: %d", st)
+	}
+	if st := ReplyStatus(s.Execute(DeleteOp("/v", 1))); st != StatusOK {
+		t.Fatalf("delete with right version: %d", st)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	s := NewStore()
+	s.Execute(CreateOp("/q", nil, ModePersistent))
+	p1, _ := ReplyPath(s.Execute(CreateOp("/q/item-", nil, ModeSequential)))
+	p2, _ := ReplyPath(s.Execute(CreateOp("/q/item-", nil, ModeSequential)))
+	if p1 == p2 || p1 >= p2 {
+		t.Fatalf("sequential paths not increasing: %q vs %q", p1, p2)
+	}
+	kids, err := ReplyChildren(s.Execute(ChildrenOp("/q")))
+	if err != nil || len(kids) != 2 {
+		t.Fatalf("children = %v err=%v", kids, err)
+	}
+}
+
+func TestGetChildrenSorted(t *testing.T) {
+	s := NewStore()
+	for _, name := range []string{"/c", "/a", "/b"} {
+		s.Execute(CreateOp(name, nil, ModePersistent))
+	}
+	kids, _ := ReplyChildren(s.Execute(ChildrenOp("/")))
+	want := []string{"a", "b", "c"}
+	if len(kids) != 3 {
+		t.Fatalf("children %v", kids)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("children %v, want %v", kids, want)
+		}
+	}
+}
+
+func TestRootUndeletable(t *testing.T) {
+	s := NewStore()
+	if st := ReplyStatus(s.Execute(DeleteOp("/", -1))); st == StatusOK {
+		t.Fatalf("root deleted")
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := NewStore()
+	for _, p := range []string{"", "x", "/x/", "//"} {
+		if st := ReplyStatus(s.Execute(CreateOp(p, nil, ModePersistent))); st == StatusOK {
+			t.Errorf("created bad path %q", p)
+		}
+	}
+}
+
+func TestMalformedOpsRejected(t *testing.T) {
+	s := NewStore()
+	for _, op := range [][]byte{nil, {}, {99}, {OpCreate, 1, 2}} {
+		rep := s.Execute(op)
+		if ReplyStatus(rep) != StatusBadOp && ReplyStatus(rep) != StatusNoNode {
+			t.Errorf("malformed op %v accepted: %v", op, rep)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Execute(CreateOp("/a", []byte("1"), ModePersistent))
+	s.Execute(CreateOp("/a/b", []byte("2"), ModePersistent))
+	s.Execute(CreateOp("/a/q-", nil, ModeSequential))
+	s.Execute(SetOp("/a", []byte("1x"), -1))
+	snap := s.Snapshot()
+
+	r := NewStore()
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !bytes.Equal(r.Snapshot(), snap) {
+		t.Fatalf("snapshot not stable across restore")
+	}
+	data, ver, _ := ReplyData(r.Execute(GetOp("/a")))
+	if !bytes.Equal(data, []byte("1x")) || ver != 1 {
+		t.Fatalf("restored data %q v%d", data, ver)
+	}
+	// Sequence counters survive: next sequential child continues.
+	p, _ := ReplyPath(r.Execute(CreateOp("/a/q-", nil, ModeSequential)))
+	p2, _ := ReplyPath(s.Execute(CreateOp("/a/q-", nil, ModeSequential)))
+	if p != p2 {
+		t.Fatalf("sequence diverged after restore: %q vs %q", p, p2)
+	}
+}
+
+func TestPropertyDeterministicReplay(t *testing.T) {
+	// Two stores executing the same op sequence hold identical
+	// snapshots — the SMR determinism requirement.
+	check := func(seed uint8, ops []uint8) bool {
+		a, b := NewStore(), NewStore()
+		paths := []string{"/p0", "/p1", "/p2"}
+		for i, o := range ops {
+			path := paths[int(o)%len(paths)]
+			var op []byte
+			switch o % 4 {
+			case 0:
+				op = CreateOp(path, []byte{o}, ModePersistent)
+			case 1:
+				op = SetOp(path, []byte{o, byte(i)}, -1)
+			case 2:
+				op = DeleteOp(path, -1)
+			case 3:
+				op = CreateOp(path+"/s-", []byte{o}, ModeSequential)
+			}
+			ra, rb := a.Execute(op), b.Execute(op)
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return bytes.Equal(a.Snapshot(), b.Snapshot())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyNodes(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 500; i++ {
+		if st := ReplyStatus(s.Execute(CreateOp(fmt.Sprintf("/n%d", i), []byte("d"), ModePersistent))); st != StatusOK {
+			t.Fatalf("create %d failed: %d", i, st)
+		}
+	}
+	if s.NodeCount() != 501 {
+		t.Fatalf("node count %d", s.NodeCount())
+	}
+	snap := s.Snapshot()
+	r := NewStore()
+	if err := r.Restore(snap); err != nil || r.NodeCount() != 501 {
+		t.Fatalf("restore large store: %v count=%d", err, r.NodeCount())
+	}
+}

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/apps/zk"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/netsim"
+	"github.com/xft-consensus/xft/internal/paxos"
+	"github.com/xft-consensus/xft/internal/pbft"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+	"github.com/xft-consensus/xft/internal/zab"
+	"github.com/xft-consensus/xft/internal/zyzzyva"
+)
+
+// Protocol names a replication protocol under test.
+type Protocol string
+
+// The five protocols of the evaluation.
+const (
+	XPaxos  Protocol = "XPaxos"
+	Paxos   Protocol = "Paxos"
+	PBFT    Protocol = "PBFT"
+	Zyzzyva Protocol = "Zyzzyva"
+	Zab     Protocol = "Zab"
+)
+
+// AllProtocols is the Figure 7 line-up; Figure 10 adds Zab.
+var AllProtocols = []Protocol{XPaxos, Paxos, PBFT, Zyzzyva}
+
+// Replicas returns the number of replicas protocol p needs for fault
+// threshold t.
+func (p Protocol) Replicas(t int) int {
+	switch p {
+	case PBFT, Zyzzyva:
+		return 3*t + 1
+	default:
+		return 2*t + 1
+	}
+}
+
+// AppKind selects the replicated application.
+type AppKind int
+
+const (
+	// NullApp replicates the paper's null service (microbenchmarks).
+	NullApp AppKind = iota
+	// ZKApp replicates the ZooKeeper-like store (macro-benchmark).
+	ZKApp
+)
+
+// Spec describes one deployment.
+type Spec struct {
+	Protocol Protocol
+	T        int
+	App      AppKind
+	// ReqSize/RepSize parameterize the microbenchmark (1/0 and 4/0).
+	ReqSize, RepSize int
+	Clients          int
+	BatchSize        int
+	// ReplicaRegions[i] is replica i's region; defaults to the paper's
+	// Table 4 placement when nil. Clients live in the primary's region.
+	ReplicaRegions []int
+	// EgressMBps is each node's outbound bandwidth in MB/s (the WAN
+	// bottleneck). Zero disables bandwidth modeling.
+	EgressMBps float64
+	Seed       int64
+	// Delta overrides Δ (default: derived from Table 3 = 1.25 s).
+	Delta time.Duration
+	// EnableFD turns on XPaxos fault detection.
+	EnableFD bool
+}
+
+// Table4Regions returns the paper's replica placement (Table 4, t=1;
+// Section 5.2's list for t=2).
+func Table4Regions(p Protocol, t int) []int {
+	if t == 1 {
+		switch p {
+		case PBFT:
+			return []int{CA, VA, JP, EU}
+		case Zyzzyva:
+			return []int{CA, VA, JP, EU}
+		case Zab:
+			return []int{CA, VA, JP}
+		default: // XPaxos, Paxos: primary CA, follower VA, passive JP
+			return []int{CA, VA, JP}
+		}
+	}
+	// t=2 (Section 5.2): CA, OR, VA, JP, EU, AU, SG.
+	order := []int{CA, OR, VA, JP, EU, AU, SG}
+	return order[:p.Replicas(t)]
+}
+
+// Cluster is a ready-to-run deployment.
+type Cluster struct {
+	Spec    Spec
+	Net     *netsim.Network
+	Primary smr.NodeID
+	// Meters[i] is replica i's crypto meter.
+	Meters []*crypto.Meter
+
+	clients []*clientHandle
+}
+
+// clientHandle abstracts the per-protocol client types behind a common
+// closed-loop interface.
+type clientHandle struct {
+	id       smr.NodeID
+	invoke   func(op []byte)
+	onCommit *func(op, rep []byte, lat time.Duration)
+}
+
+// Invoke submits an operation on client ci (must be called from event
+// context or before the run starts).
+func (c *Cluster) Invoke(ci int, op []byte) { c.clients[ci].invoke(op) }
+
+// SetOnCommit installs the commit callback for client ci.
+func (c *Cluster) SetOnCommit(ci int, fn func(op, rep []byte, lat time.Duration)) {
+	*c.clients[ci].onCommit = fn
+}
+
+// NumClients returns the number of clients.
+func (c *Cluster) NumClients() int { return len(c.clients) }
+
+// newApp builds a fresh application instance.
+func (s Spec) newApp() smr.Application {
+	switch s.App {
+	case ZKApp:
+		return zk.NewStore()
+	default:
+		return &kv.Null{ReplySize: s.RepSize}
+	}
+}
+
+// Build constructs the deployment over a fresh simulated WAN.
+func Build(spec Spec) *Cluster {
+	if spec.T == 0 {
+		spec.T = 1
+	}
+	if spec.BatchSize == 0 {
+		spec.BatchSize = 20 // the paper's batch size
+	}
+	if spec.Clients == 0 {
+		spec.Clients = 1
+	}
+	if spec.Delta == 0 {
+		spec.Delta = DeltaFromTable3()
+	}
+	n := spec.Protocol.Replicas(spec.T)
+	regions := spec.ReplicaRegions
+	if regions == nil {
+		regions = Table4Regions(spec.Protocol, spec.T)
+	}
+	if len(regions) != n {
+		panic(fmt.Sprintf("bench: %d regions for %d replicas", len(regions), n))
+	}
+	regionOf := make(map[smr.NodeID]int, n)
+	for i := 0; i < n; i++ {
+		regionOf[smr.NodeID(i)] = regions[i]
+	}
+	// Clients co-locate with the (initial) primary — replica 0 in every
+	// protocol here (Table 4).
+	for i := 0; i < spec.Clients; i++ {
+		regionOf[smr.ClientIDBase+smr.NodeID(i)] = regions[0]
+	}
+
+	net := netsim.New(netsim.Config{
+		Latency:           EC2Model(regionOf, false),
+		EgressBytesPerSec: spec.EgressMBps * 1e6,
+		CostModel:         costModel(), // per-core costs (8-way parallel crypto)
+		Seed:              spec.Seed,
+	})
+	suite := crypto.NewSimSuite(spec.Seed + 1)
+
+	c := &Cluster{Spec: spec, Net: net, Primary: 0}
+	// Detection (request retransmission) after 2Δ; the view-change
+	// timer gets 4Δ = 5 s — checkpoints every 32 batches bound the
+	// transferred state (32 × 20 × 1 kB ≈ 640 kB per log, ≈1 s of WAN
+	// transfer), so 4Δ comfortably covers the 2Δ collection window
+	// plus state transfer while bounding time wasted on views whose
+	// group contains a crashed replica.
+	timeouts := struct{ req, vc time.Duration }{2 * spec.Delta, 4 * spec.Delta}
+
+	addReplica := func(i int, node smr.Node, meter *crypto.Meter) {
+		c.Meters = append(c.Meters, meter)
+		net.AddNode(smr.NodeID(i), node, netsim.WithMeter(meter))
+	}
+
+	switch spec.Protocol {
+	case XPaxos:
+		for i := 0; i < n; i++ {
+			meter := crypto.NewMeter(suite)
+			cfg := xpaxos.Config{
+				N: n, T: spec.T, Suite: meter, Delta: spec.Delta,
+				BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				ViewChangeTimeout: timeouts.vc, CheckpointInterval: 32,
+				EnableFD: spec.EnableFD,
+			}
+			addReplica(i, xpaxos.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
+		}
+		for i := 0; i < spec.Clients; i++ {
+			id := smr.ClientIDBase + smr.NodeID(i)
+			cb := new(func(op, rep []byte, lat time.Duration))
+			cl := xpaxos.NewClient(id, xpaxos.ClientConfig{
+				N: n, T: spec.T, Suite: crypto.NewMeter(suite),
+				RequestTimeout: timeouts.req,
+				OnCommit: func(op, rep []byte, lat time.Duration) {
+					if *cb != nil {
+						(*cb)(op, rep, lat)
+					}
+				},
+			})
+			net.AddNode(id, cl)
+			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
+		}
+	case Paxos:
+		for i := 0; i < n; i++ {
+			meter := crypto.NewMeter(suite)
+			cfg := paxos.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			addReplica(i, paxos.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
+		}
+		for i := 0; i < spec.Clients; i++ {
+			id := smr.ClientIDBase + smr.NodeID(i)
+			cl := paxos.NewClient(id, paxos.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cb := new(func(op, rep []byte, lat time.Duration))
+			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
+				if *cb != nil {
+					(*cb)(op, rep, lat)
+				}
+			}
+			net.AddNode(id, cl)
+			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
+		}
+	case PBFT:
+		for i := 0; i < n; i++ {
+			meter := crypto.NewMeter(suite)
+			cfg := pbft.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			addReplica(i, pbft.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
+		}
+		for i := 0; i < spec.Clients; i++ {
+			id := smr.ClientIDBase + smr.NodeID(i)
+			cl := pbft.NewClient(id, pbft.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cb := new(func(op, rep []byte, lat time.Duration))
+			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
+				if *cb != nil {
+					(*cb)(op, rep, lat)
+				}
+			}
+			net.AddNode(id, cl)
+			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
+		}
+	case Zyzzyva:
+		for i := 0; i < n; i++ {
+			meter := crypto.NewMeter(suite)
+			cfg := zyzzyva.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			addReplica(i, zyzzyva.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
+		}
+		for i := 0; i < spec.Clients; i++ {
+			id := smr.ClientIDBase + smr.NodeID(i)
+			cl := zyzzyva.NewClient(id, zyzzyva.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req, CommitTimeout: spec.Delta})
+			cb := new(func(op, rep []byte, lat time.Duration))
+			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
+				if *cb != nil {
+					(*cb)(op, rep, lat)
+				}
+			}
+			net.AddNode(id, cl)
+			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
+		}
+	case Zab:
+		for i := 0; i < n; i++ {
+			meter := crypto.NewMeter(suite)
+			cfg := zab.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			addReplica(i, zab.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
+		}
+		for i := 0; i < spec.Clients; i++ {
+			id := smr.ClientIDBase + smr.NodeID(i)
+			cl := zab.NewClient(id, zab.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cb := new(func(op, rep []byte, lat time.Duration))
+			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
+				if *cb != nil {
+					(*cb)(op, rep, lat)
+				}
+			}
+			net.AddNode(id, cl)
+			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
+		}
+	default:
+		panic("bench: unknown protocol " + string(spec.Protocol))
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package crypto
+
+// Merkle trees over digests: used by XPaxos's t = 1 reply path so that
+// the follower signs one root per batch while each client receives a
+// log-size inclusion proof for its own reply, keeping replies small
+// regardless of the batch size.
+
+// MerkleRoot computes the root of the tree over the given leaves.
+// Odd nodes are promoted unhashed (Bitcoin-style duplication is
+// avoided to keep proofs unambiguous). An empty leaf set has the zero
+// root.
+func MerkleRoot(leaves []Digest) Digest {
+	if len(leaves) == 0 {
+		return Digest{}
+	}
+	level := append([]Digest(nil), leaves...)
+	for len(level) > 1 {
+		out := make([]Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				out = append(out, HashParts([]byte("mrk"), level[i][:], level[i+1][:]))
+			} else {
+				out = append(out, level[i])
+			}
+		}
+		level = out
+	}
+	return level[0]
+}
+
+// MerkleProof returns the sibling path for leaf idx; Verify recomputes
+// the root from it. The proof encodes each sibling with a direction
+// byte folded into the slice order: entry i is the sibling at level i,
+// and lefts[i] reports whether that sibling is the left child.
+type MerkleProof struct {
+	Siblings []Digest
+	Lefts    []bool
+}
+
+// Size returns the proof's wire size in bytes.
+func (p *MerkleProof) Size() int { return len(p.Siblings)*DigestSize + len(p.Lefts) }
+
+// BuildMerkleProof constructs the inclusion proof for leaves[idx].
+func BuildMerkleProof(leaves []Digest, idx int) MerkleProof {
+	var proof MerkleProof
+	if idx < 0 || idx >= len(leaves) {
+		return proof
+	}
+	level := append([]Digest(nil), leaves...)
+	for len(level) > 1 {
+		sib := idx ^ 1
+		if sib < len(level) {
+			proof.Siblings = append(proof.Siblings, level[sib])
+			proof.Lefts = append(proof.Lefts, sib < idx)
+		}
+		out := make([]Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				out = append(out, HashParts([]byte("mrk"), level[i][:], level[i+1][:]))
+			} else {
+				out = append(out, level[i])
+			}
+		}
+		level = out
+		idx /= 2
+	}
+	return proof
+}
+
+// VerifyMerkleProof checks that leaf is included under root.
+func VerifyMerkleProof(leaf Digest, proof MerkleProof, root Digest) bool {
+	if len(proof.Siblings) != len(proof.Lefts) {
+		return false
+	}
+	cur := leaf
+	for i, sib := range proof.Siblings {
+		if proof.Lefts[i] {
+			cur = HashParts([]byte("mrk"), sib[:], cur[:])
+		} else {
+			cur = HashParts([]byte("mrk"), cur[:], sib[:])
+		}
+	}
+	return cur == root
+}

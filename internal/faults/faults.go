@@ -1,0 +1,152 @@
+// Package faults provides reusable fault-injection wrappers for
+// Byzantine testing of replication protocols.
+//
+// A non-crash-faulty machine is modeled in two composable ways:
+//
+//   - state corruption: protocol packages expose Inject* hooks that
+//     mutate a replica's local state (data loss, forks) — see
+//     xpaxos.Replica's fault-injection hooks;
+//   - message-level misbehaviour: Wrap intercepts a node's outgoing
+//     traffic through its Env, so tests can drop, redirect, duplicate
+//     or substitute messages (equivocation, muting, selective
+//     delivery) without touching protocol internals.
+//
+// Crash faults and network faults (partitions) are injected by the
+// network simulator itself (netsim.Crash, netsim.Partition).
+package faults
+
+import (
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// Send is one outgoing message.
+type Send struct {
+	To  smr.NodeID
+	Msg smr.Message
+}
+
+// SendFilter rewrites an outgoing message into zero or more sends.
+// Return nil to drop the message; return the original to pass it
+// through.
+type SendFilter func(to smr.NodeID, m smr.Message) []Send
+
+// Wrap returns a node whose outgoing messages pass through filter.
+func Wrap(inner smr.Node, filter SendFilter) smr.Node {
+	return &wrapper{inner: inner, filter: filter}
+}
+
+type wrapper struct {
+	inner  smr.Node
+	filter SendFilter
+}
+
+// Init implements smr.Node.
+func (w *wrapper) Init(env smr.Env) {
+	w.inner.Init(&filterEnv{Env: env, filter: w.filter})
+}
+
+// Step implements smr.Node.
+func (w *wrapper) Step(ev smr.Event) { w.inner.Step(ev) }
+
+type filterEnv struct {
+	smr.Env
+	filter SendFilter
+}
+
+func (f *filterEnv) Send(to smr.NodeID, m smr.Message) {
+	for _, s := range f.filter(to, m) {
+		f.Env.Send(s.To, s.Msg)
+	}
+}
+
+// PassThrough forwards a message unchanged.
+func PassThrough(to smr.NodeID, m smr.Message) []Send {
+	return []Send{{To: to, Msg: m}}
+}
+
+// Mute drops every outgoing message — the node still processes input
+// (unlike a crash) but never speaks. Useful for modeling a replica
+// that silently stopped participating.
+func Mute() SendFilter {
+	return func(smr.NodeID, smr.Message) []Send { return nil }
+}
+
+// DropTypes drops outgoing messages whose Type() is listed.
+func DropTypes(types ...string) SendFilter {
+	set := make(map[string]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	return func(to smr.NodeID, m smr.Message) []Send {
+		if set[m.Type()] {
+			return nil
+		}
+		return PassThrough(to, m)
+	}
+}
+
+// DropTo drops outgoing messages addressed to the given nodes.
+func DropTo(ids ...smr.NodeID) SendFilter {
+	set := make(map[smr.NodeID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(to smr.NodeID, m smr.Message) []Send {
+		if set[to] {
+			return nil
+		}
+		return PassThrough(to, m)
+	}
+}
+
+// Chain applies filters left to right: the output sends of one filter
+// feed the next.
+func Chain(filters ...SendFilter) SendFilter {
+	return func(to smr.NodeID, m smr.Message) []Send {
+		cur := []Send{{To: to, Msg: m}}
+		for _, f := range filters {
+			var next []Send
+			for _, s := range cur {
+				next = append(next, f(s.To, s.Msg)...)
+			}
+			cur = next
+		}
+		return cur
+	}
+}
+
+// Switchable is a filter that can be toggled between an active filter
+// and pass-through at runtime (e.g. "become Byzantine at t=180s").
+type Switchable struct {
+	active SendFilter
+	on     bool
+}
+
+// NewSwitchable returns a disabled switchable wrapper around f.
+func NewSwitchable(f SendFilter) *Switchable { return &Switchable{active: f} }
+
+// Enable turns the wrapped filter on.
+func (s *Switchable) Enable() { s.on = true }
+
+// Disable reverts to pass-through.
+func (s *Switchable) Disable() { s.on = false }
+
+// Filter is the SendFilter to install via Wrap.
+func (s *Switchable) Filter(to smr.NodeID, m smr.Message) []Send {
+	if s.on {
+		return s.active(to, m)
+	}
+	return PassThrough(to, m)
+}
+
+// Script schedules fault actions at fixed virtual times on a network
+// that exposes At (the netsim.Network does). It exists so experiment
+// code reads as a fault timetable.
+type Script struct {
+	At func(at time.Duration, fn func())
+}
+
+// Do schedules fn at the given offset.
+func (s Script) Do(at time.Duration, fn func()) { s.At(at, fn) }

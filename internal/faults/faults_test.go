@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/netsim"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+type msg struct {
+	name string
+}
+
+func (m msg) Type() string  { return m.name }
+func (m msg) WireSize() int { return 10 }
+
+type echo struct {
+	env   smr.Env
+	recvd []string
+}
+
+func (e *echo) Init(env smr.Env) { e.env = env }
+func (e *echo) Step(ev smr.Event) {
+	if r, ok := ev.(smr.Recv); ok {
+		e.recvd = append(e.recvd, r.Msg.Type())
+	}
+}
+
+type sender struct {
+	env  smr.Env
+	send []msg
+}
+
+func (s *sender) Init(env smr.Env) { s.env = env }
+func (s *sender) Step(ev smr.Event) {
+	if _, ok := ev.(smr.Start); ok {
+		for _, m := range s.send {
+			s.env.Send(1, m)
+		}
+	}
+}
+
+func runPair(t *testing.T, filter SendFilter, sends []msg) []string {
+	t.Helper()
+	net := netsim.New(netsim.Config{Latency: netsim.Uniform{Delay: time.Millisecond}})
+	rx := &echo{}
+	tx := smr.Node(&sender{send: sends})
+	if filter != nil {
+		tx = Wrap(tx, filter)
+	}
+	net.AddNode(0, tx)
+	net.AddNode(1, rx)
+	net.RunFor(time.Second)
+	return rx.recvd
+}
+
+func TestPassThrough(t *testing.T) {
+	got := runPair(t, nil, []msg{{"a"}, {"b"}})
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMuteDropsEverything(t *testing.T) {
+	got := runPair(t, Mute(), []msg{{"a"}, {"b"}})
+	if len(got) != 0 {
+		t.Fatalf("muted node delivered %v", got)
+	}
+}
+
+func TestDropTypes(t *testing.T) {
+	got := runPair(t, DropTypes("a"), []msg{{"a"}, {"b"}, {"a"}})
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("got %v, want [b]", got)
+	}
+}
+
+func TestDropTo(t *testing.T) {
+	got := runPair(t, DropTo(1), []msg{{"a"}})
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	got = runPair(t, DropTo(2), []msg{{"a"}})
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChainComposes(t *testing.T) {
+	dup := func(to smr.NodeID, m smr.Message) []Send {
+		return []Send{{To: to, Msg: m}, {To: to, Msg: m}}
+	}
+	got := runPair(t, Chain(dup, DropTypes("b")), []msg{{"a"}, {"b"}})
+	if len(got) != 2 || got[0] != "a" || got[1] != "a" {
+		t.Fatalf("got %v, want [a a]", got)
+	}
+}
+
+func TestSwitchableTogglesAtRuntime(t *testing.T) {
+	sw := NewSwitchable(Mute())
+	net := netsim.New(netsim.Config{Latency: netsim.Uniform{Delay: time.Millisecond}})
+	rx := &echo{}
+	var env smr.Env
+	probe := Wrap(nodeFunc(func(e smr.Env) { env = e }), sw.Filter)
+	net.AddNode(0, probe)
+	net.AddNode(1, rx)
+	net.RunFor(10 * time.Millisecond)
+	net.At(net.Now(), func() { env.Send(1, msg{"before"}) })
+	net.RunFor(10 * time.Millisecond)
+	sw.Enable()
+	net.At(net.Now(), func() { env.Send(1, msg{"muted"}) })
+	net.RunFor(10 * time.Millisecond)
+	sw.Disable()
+	net.At(net.Now(), func() { env.Send(1, msg{"after"}) })
+	net.RunFor(10 * time.Millisecond)
+	if len(rx.recvd) != 2 || rx.recvd[0] != "before" || rx.recvd[1] != "after" {
+		t.Fatalf("got %v, want [before after]", rx.recvd)
+	}
+}
+
+type nodeFunc func(env smr.Env)
+
+func (f nodeFunc) Init(env smr.Env) { f(env) }
+func (f nodeFunc) Step(smr.Event)   {}

@@ -1,0 +1,439 @@
+// Package netsim models a wide-area network on top of the
+// discrete-event engine in internal/sim.
+//
+// It reproduces the three bottlenecks the XFT paper's evaluation
+// depends on (Section 5):
+//
+//   - link latency: a per-pair one-way propagation delay with
+//     multiplicative jitter and rare long-tail spikes, calibrated to the
+//     paper's EC2 measurements (Table 3);
+//   - egress bandwidth: each node owns an outbound link of configurable
+//     capacity; messages serialize FIFO, which makes the leader's NIC
+//     the bottleneck exactly as in Section 5.5;
+//   - CPU: each node owns a single CPU queue; handling a message costs
+//     the dispatch overhead plus whatever the node's crypto meter
+//     recorded during the Step (Section 5.3 / Figure 8).
+//
+// The simulator also provides fault injection — crashes, recoveries,
+// link cuts, full partitions — used by Figure 9 and the Byzantine
+// test-suite.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/sim"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// LatencyModel samples one-way propagation delays.
+type LatencyModel interface {
+	// OneWay returns the propagation delay from one node to another for
+	// a single message. Implementations may randomize per call.
+	OneWay(rng *rand.Rand, from, to smr.NodeID) time.Duration
+}
+
+// Uniform is a LatencyModel with a single delay for every pair.
+type Uniform struct{ Delay time.Duration }
+
+// OneWay implements LatencyModel.
+func (u Uniform) OneWay(*rand.Rand, smr.NodeID, smr.NodeID) time.Duration { return u.Delay }
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency is the propagation model (required).
+	Latency LatencyModel
+	// EgressBytesPerSec is the default per-node outbound capacity.
+	// Zero means infinite bandwidth.
+	EgressBytesPerSec float64
+	// CostModel prices cryptographic work on the simulated CPUs.
+	CostModel crypto.CostModel
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// NodeStats aggregates per-node measurements.
+type NodeStats struct {
+	MsgsSent, MsgsRecv   uint64
+	BytesSent, BytesRecv uint64
+	CPUBusy              time.Duration
+	Crypto               crypto.Counts
+}
+
+// Network is the simulated WAN. It is not safe for concurrent use:
+// everything happens on the simulation's single logical thread.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[smr.NodeID]*simNode
+	// downLinks holds directed links currently cut; key is [from,to].
+	downLinks map[[2]smr.NodeID]bool
+	// linkClock enforces FIFO delivery per directed link: a message may
+	// not arrive before an earlier message on the same link. The paper
+	// assumes reliable (ordered) point-to-point channels (Section 2).
+	linkClock map[[2]smr.NodeID]time.Duration
+	// msgTypeCount counts sent messages by Type() for pattern tests.
+	msgTypeCount map[string]uint64
+	msgTypeBytes map[string]uint64
+	// Trace, if non-nil, observes every delivered message.
+	Trace func(at time.Duration, from, to smr.NodeID, m smr.Message)
+}
+
+// New creates a network over a fresh engine.
+func New(cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = Uniform{Delay: time.Millisecond}
+	}
+	return &Network{
+		eng:          sim.NewEngine(cfg.Seed),
+		cfg:          cfg,
+		nodes:        make(map[smr.NodeID]*simNode),
+		downLinks:    make(map[[2]smr.NodeID]bool),
+		linkClock:    make(map[[2]smr.NodeID]time.Duration),
+		msgTypeCount: make(map[string]uint64),
+		msgTypeBytes: make(map[string]uint64),
+	}
+}
+
+// Engine exposes the underlying discrete-event engine (for scheduling
+// experiment actions such as fault injection at fixed virtual times).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.eng.Now() }
+
+// NodeOption customizes a node at registration.
+type NodeOption func(*simNode)
+
+// WithMeter attaches a crypto meter whose recorded work is charged to
+// the node's simulated CPU.
+func WithMeter(m *crypto.Meter) NodeOption {
+	return func(sn *simNode) { sn.meter = m }
+}
+
+// WithEgress overrides the node's outbound bandwidth (bytes/sec;
+// zero = infinite).
+func WithEgress(bytesPerSec float64) NodeOption {
+	return func(sn *simNode) { sn.egressRate = bytesPerSec }
+}
+
+// AddNode registers node under id. Init runs via a time-0 Start event.
+func (n *Network) AddNode(id smr.NodeID, node smr.Node, opts ...NodeOption) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %d", id))
+	}
+	sn := &simNode{
+		net:        n,
+		id:         id,
+		node:       node,
+		egressRate: n.cfg.EgressBytesPerSec,
+		timers:     make(map[smr.TimerID]*sim.Timer),
+	}
+	for _, o := range opts {
+		o(sn)
+	}
+	n.nodes[id] = sn
+	node.Init(sn)
+	sn.enqueue(smr.Start{})
+}
+
+// ReplaceNode swaps the implementation behind id (used to model a
+// crashed replica recovering with empty volatile state, or to wrap a
+// replica with a Byzantine mutator mid-run). The replacement is
+// initialized and started immediately.
+func (n *Network) ReplaceNode(id smr.NodeID, node smr.Node) {
+	sn, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: replace of unknown node %d", id))
+	}
+	sn.node = node
+	sn.queue = nil
+	for _, t := range sn.timers {
+		t.Cancel()
+	}
+	sn.timers = make(map[smr.TimerID]*sim.Timer)
+	node.Init(sn)
+	sn.enqueue(smr.Start{})
+}
+
+// Node returns the smr.Node registered under id.
+func (n *Network) Node(id smr.NodeID) smr.Node { return n.nodes[id].node }
+
+// Stats returns a copy of the node's counters.
+func (n *Network) Stats(id smr.NodeID) NodeStats {
+	sn := n.nodes[id]
+	st := sn.stats
+	if sn.meter != nil {
+		st.Crypto = sn.meter.Total()
+	}
+	return st
+}
+
+// MessageCounts returns sent-message counts by message type.
+func (n *Network) MessageCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(n.msgTypeCount))
+	for k, v := range n.msgTypeCount {
+		out[k] = v
+	}
+	return out
+}
+
+// MessageBytes returns sent bytes by message type.
+func (n *Network) MessageBytes() map[string]uint64 {
+	out := make(map[string]uint64, len(n.msgTypeBytes))
+	for k, v := range n.msgTypeBytes {
+		out[k] = v
+	}
+	return out
+}
+
+// Crash stops a node: it ceases processing and all in-flight traffic
+// to and from it is dropped until Recover.
+func (n *Network) Crash(id smr.NodeID) { n.nodes[id].crashed = true }
+
+// Recover restarts a crashed node in place, with whatever state the
+// node implementation retained. To model loss of volatile state,
+// follow with ReplaceNode.
+func (n *Network) Recover(id smr.NodeID) {
+	sn := n.nodes[id]
+	if !sn.crashed {
+		return
+	}
+	sn.crashed = false
+	sn.enqueue(smr.Start{})
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Network) Crashed(id smr.NodeID) bool { return n.nodes[id].crashed }
+
+// CutLink drops all future traffic in both directions between a and b.
+func (n *Network) CutLink(a, b smr.NodeID) {
+	n.downLinks[[2]smr.NodeID{a, b}] = true
+	n.downLinks[[2]smr.NodeID{b, a}] = true
+}
+
+// HealLink restores a previously cut link.
+func (n *Network) HealLink(a, b smr.NodeID) {
+	delete(n.downLinks, [2]smr.NodeID{a, b})
+	delete(n.downLinks, [2]smr.NodeID{b, a})
+}
+
+// LinkUp reports whether traffic currently flows from a to b.
+func (n *Network) LinkUp(a, b smr.NodeID) bool { return !n.downLinks[[2]smr.NodeID{a, b}] }
+
+// Partition cuts every link between the given group and all other
+// registered nodes (in both directions), leaving intra-group links up.
+func (n *Network) Partition(group ...smr.NodeID) {
+	in := make(map[smr.NodeID]bool, len(group))
+	for _, id := range group {
+		in[id] = true
+	}
+	for id := range n.nodes {
+		if in[id] {
+			continue
+		}
+		for _, g := range group {
+			n.CutLink(id, g)
+		}
+	}
+}
+
+// HealAll restores every cut link.
+func (n *Network) HealAll() { n.downLinks = make(map[[2]smr.NodeID]bool) }
+
+// RunUntil advances virtual time to deadline.
+func (n *Network) RunUntil(deadline time.Duration) { n.eng.RunUntil(deadline) }
+
+// RunFor advances virtual time by d.
+func (n *Network) RunFor(d time.Duration) { n.eng.RunUntil(n.eng.Now() + d) }
+
+// Run drains all pending events (careful: protocols with periodic
+// timers never drain; prefer RunUntil).
+func (n *Network) Run() { n.eng.Run() }
+
+// At schedules an experiment action (fault injection etc.) at an
+// absolute virtual time.
+func (n *Network) At(at time.Duration, fn func()) { n.eng.At(at, fn) }
+
+// deliver is called when a message physically arrives at dst.
+func (n *Network) deliver(from, to smr.NodeID, m smr.Message) {
+	dst, ok := n.nodes[to]
+	if !ok || dst.crashed {
+		return
+	}
+	if n.downLinks[[2]smr.NodeID{from, to}] {
+		return
+	}
+	dst.stats.MsgsRecv++
+	dst.stats.BytesRecv += uint64(m.WireSize())
+	if n.Trace != nil {
+		n.Trace(n.eng.Now(), from, to, m)
+	}
+	dst.enqueue(smr.Recv{From: from, Msg: m})
+}
+
+// ---------------------------------------------------------------------------
+// simNode: the per-node Env implementation with CPU and egress queues.
+// ---------------------------------------------------------------------------
+
+type simNode struct {
+	net  *Network
+	id   smr.NodeID
+	node smr.Node
+
+	meter      *crypto.Meter
+	egressRate float64 // bytes/sec, 0 = infinite
+
+	crashed bool
+
+	// CPU queue.
+	queue      []smr.Event
+	processing bool
+	inStep     bool
+	cpuFreeAt  time.Duration
+
+	// Egress serialization.
+	egressFreeAt time.Duration
+
+	// Deferred sends from the Step currently executing.
+	outbox []outMsg
+
+	timers  map[smr.TimerID]*sim.Timer
+	timerID smr.TimerID
+
+	stats NodeStats
+}
+
+type outMsg struct {
+	to smr.NodeID
+	m  smr.Message
+}
+
+func (sn *simNode) ID() smr.NodeID     { return sn.id }
+func (sn *simNode) Now() time.Duration { return sn.net.eng.Now() }
+
+func (sn *simNode) Send(to smr.NodeID, m smr.Message) {
+	if sn.inStep {
+		// Inside Step: the message leaves when processing completes.
+		sn.outbox = append(sn.outbox, outMsg{to: to, m: m})
+		return
+	}
+	// Outside Step (experiment scripts, fault injectors): send now.
+	sn.transmit(sn.net.eng.Now(), to, m)
+}
+
+func (sn *simNode) SetTimer(d time.Duration, kind string) smr.TimerID {
+	sn.timerID++
+	id := sn.timerID
+	t := sn.net.eng.After(d, func() {
+		delete(sn.timers, id)
+		if sn.crashed {
+			return
+		}
+		sn.enqueue(smr.TimerFired{ID: id, Kind: kind})
+	})
+	sn.timers[id] = t
+	return id
+}
+
+func (sn *simNode) CancelTimer(id smr.TimerID) {
+	if t, ok := sn.timers[id]; ok {
+		t.Cancel()
+		delete(sn.timers, id)
+	}
+}
+
+// enqueue adds an event to the CPU queue and kicks processing.
+func (sn *simNode) enqueue(ev smr.Event) {
+	sn.queue = append(sn.queue, ev)
+	if !sn.processing {
+		sn.processing = true
+		start := sn.net.eng.Now()
+		if sn.cpuFreeAt > start {
+			start = sn.cpuFreeAt
+		}
+		sn.net.eng.At(start, sn.processNext)
+	}
+}
+
+// processNext executes the head of the CPU queue, charges its cost,
+// and flushes its sends at completion time.
+func (sn *simNode) processNext() {
+	if sn.crashed || len(sn.queue) == 0 {
+		sn.processing = false
+		return
+	}
+	ev := sn.queue[0]
+	sn.queue = sn.queue[1:]
+
+	if sn.meter != nil {
+		sn.meter.TakeWindow() // discard anything stale
+	}
+	sn.outbox = sn.outbox[:0]
+	sn.inStep = true
+	sn.node.Step(ev)
+	sn.inStep = false
+
+	cost := sn.net.cfg.CostModel.DispatchCost
+	if sn.meter != nil {
+		cost += sn.meter.TakeWindow().Cost(sn.net.cfg.CostModel)
+	}
+	now := sn.net.eng.Now()
+	done := now + cost
+	sn.stats.CPUBusy += cost
+	sn.cpuFreeAt = done
+
+	// Outgoing messages leave once processing completes, then
+	// serialize on the egress link.
+	for _, om := range sn.outbox {
+		sn.transmit(done, om.to, om.m)
+	}
+	sn.outbox = sn.outbox[:0]
+
+	if len(sn.queue) > 0 {
+		sn.net.eng.At(done, sn.processNext)
+	} else {
+		sn.processing = false
+		// A new event arriving before `done` must still wait for the
+		// CPU; enqueue handles that via cpuFreeAt.
+	}
+}
+
+// transmit models egress serialization plus propagation.
+func (sn *simNode) transmit(ready time.Duration, to smr.NodeID, m smr.Message) {
+	size := m.WireSize()
+	sn.stats.MsgsSent++
+	sn.stats.BytesSent += uint64(size)
+	sn.net.msgTypeCount[m.Type()]++
+	sn.net.msgTypeBytes[m.Type()] += uint64(size)
+
+	txStart := ready
+	if sn.egressFreeAt > txStart {
+		txStart = sn.egressFreeAt
+	}
+	txEnd := txStart
+	if sn.egressRate > 0 {
+		txEnd = txStart + time.Duration(float64(size)/sn.egressRate*float64(time.Second))
+	}
+	sn.egressFreeAt = txEnd
+
+	if to == sn.id {
+		// Loopback: skip the wire entirely.
+		sn.net.eng.At(ready, func() { sn.net.deliver(sn.id, sn.id, m) })
+		return
+	}
+	lat := sn.net.cfg.Latency.OneWay(sn.net.eng.Rand(), sn.id, to)
+	from := sn.id
+	arrive := txEnd + lat
+	link := [2]smr.NodeID{from, to}
+	if prev := sn.net.linkClock[link]; arrive < prev {
+		arrive = prev // FIFO per link: never overtake an earlier message
+	}
+	sn.net.linkClock[link] = arrive
+	sn.net.eng.At(arrive, func() { sn.net.deliver(from, to, m) })
+}
+
+var _ smr.Env = (*simNode)(nil)

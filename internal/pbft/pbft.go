@@ -1,0 +1,715 @@
+// Package pbft implements the speculative PBFT variant the XFT paper
+// benchmarks against (Section 5.1.2, Figure 6a): a 2-phase common-case
+// commit across only 2t+1 *active* replicas out of n = 3t+1, which is
+// more efficient in geo-replicated settings than involving all
+// replicas. Common-case messages carry MACs.
+//
+//	client → primary → PRE-PREPARE to 2t actives
+//	       → COMMIT exchanged among the 2t+1 actives → replies
+//
+// The client commits on t+1 matching replies.
+//
+// View changes are crash-fault-grade (signed view-change messages
+// transferring accepted logs, highest view wins): the paper's
+// evaluation exercises only the BFT baselines' common case, and this
+// repository's Byzantine experiments target XPaxos. This simplification
+// is documented in DESIGN.md.
+package pbft
+
+import (
+	"sort"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
+)
+
+const msgHeader = 24
+
+// Primary returns the primary of view v.
+func Primary(n int, v smr.View) smr.NodeID { return smr.NodeID(int(v) % n) }
+
+// Actives returns the 2t+1 active replicas of view v: the primary and
+// the 2t replicas after it in ring order.
+func Actives(n, t int, v smr.View) []smr.NodeID {
+	out := make([]smr.NodeID, 0, 2*t+1)
+	p := int(Primary(n, v))
+	for i := 0; i <= 2*t; i++ {
+		out = append(out, smr.NodeID((p+i)%n))
+	}
+	return out
+}
+
+func isActive(n, t int, v smr.View, id smr.NodeID) bool {
+	for _, a := range Actives(n, t, v) {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Request is a client request.
+type Request struct {
+	Op     []byte
+	TS     uint64
+	Client smr.NodeID
+}
+
+func (r *Request) wireSize() int { return len(r.Op) + 24 }
+
+// Batch groups requests.
+type Batch struct{ Reqs []Request }
+
+func (b *Batch) wireSize() int {
+	s := 4
+	for i := range b.Reqs {
+		s += b.Reqs[i].wireSize()
+	}
+	return s
+}
+
+func (b *Batch) digest() crypto.Digest {
+	w := wire.New(64 * len(b.Reqs)).Str("pb-batch")
+	for i := range b.Reqs {
+		r := &b.Reqs[i]
+		w.Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+	}
+	return crypto.Hash(w.Done())
+}
+
+// MsgRequest carries a client request.
+type MsgRequest struct{ Req Request }
+
+// Type implements smr.Message.
+func (m *MsgRequest) Type() string { return "request" }
+
+// WireSize implements smr.Message.
+func (m *MsgRequest) WireSize() int { return msgHeader + m.Req.wireSize() }
+
+// MsgPrePrepare is the primary's ordering proposal.
+type MsgPrePrepare struct {
+	View  smr.View
+	SN    smr.SeqNum
+	Batch Batch
+	MAC   crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgPrePrepare) Type() string { return "pre-prepare" }
+
+// WireSize implements smr.Message.
+func (m *MsgPrePrepare) WireSize() int { return msgHeader + 16 + m.Batch.wireSize() + len(m.MAC) }
+
+// MsgCommit is exchanged among actives.
+type MsgCommit struct {
+	View smr.View
+	SN   smr.SeqNum
+	D    crypto.Digest
+	From smr.NodeID
+	MAC  crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgCommit) Type() string { return "commit" }
+
+// WireSize implements smr.Message.
+func (m *MsgCommit) WireSize() int { return msgHeader + 24 + 32 + len(m.MAC) }
+
+// MsgReply answers the client (full payload from the primary, digest
+// from other actives).
+type MsgReply struct {
+	From smr.NodeID
+	View smr.View
+	TS   uint64
+	Rep  []byte // nil for digest replies
+	RepD crypto.Digest
+	MAC  crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgReply) Type() string { return "reply" }
+
+// WireSize implements smr.Message.
+func (m *MsgReply) WireSize() int { return msgHeader + 24 + len(m.Rep) + 32 + len(m.MAC) }
+
+// MsgViewChange transfers a replica's log to a new view's primary.
+type MsgViewChange struct {
+	View    smr.View
+	From    smr.NodeID
+	Entries []logEntry
+	Sig     crypto.Signature
+}
+
+// Type implements smr.Message.
+func (m *MsgViewChange) Type() string { return "view-change" }
+
+// WireSize implements smr.Message.
+func (m *MsgViewChange) WireSize() int {
+	s := msgHeader + 16 + len(m.Sig)
+	for i := range m.Entries {
+		s += 16 + m.Entries[i].Batch.wireSize()
+	}
+	return s
+}
+
+func (m *MsgViewChange) sigPayload() []byte {
+	w := wire.New(64).Str("pb-vc").U64(uint64(m.View)).I64(int64(m.From))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		d := e.Batch.digest()
+		w.U64(uint64(e.SN)).U64(uint64(e.View)).Raw(d[:])
+	}
+	return w.Done()
+}
+
+// MsgNewView installs the new view's log.
+type MsgNewView struct {
+	View    smr.View
+	Entries []logEntry
+	Sig     crypto.Signature
+}
+
+// Type implements smr.Message.
+func (m *MsgNewView) Type() string { return "new-view" }
+
+// WireSize implements smr.Message.
+func (m *MsgNewView) WireSize() int {
+	s := msgHeader + 8 + len(m.Sig)
+	for i := range m.Entries {
+		s += 16 + m.Entries[i].Batch.wireSize()
+	}
+	return s
+}
+
+func (m *MsgNewView) sigPayload() []byte {
+	w := wire.New(64).Str("pb-nv").U64(uint64(m.View))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		d := e.Batch.digest()
+		w.U64(uint64(e.SN)).Raw(d[:])
+	}
+	return w.Done()
+}
+
+type logEntry struct {
+	View  smr.View
+	SN    smr.SeqNum
+	Batch Batch
+}
+
+// Config parameterizes replicas and clients.
+type Config struct {
+	N, T           int
+	Suite          crypto.Suite
+	BatchSize      int
+	BatchTimeout   time.Duration
+	RequestTimeout time.Duration
+	Observer       smr.CommitObserver
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 3*c.T + 1
+	}
+	if c.T == 0 {
+		c.T = (c.N - 1) / 3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = 5 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Replica is a speculative-PBFT replica.
+type Replica struct {
+	env   smr.Env
+	cfg   Config
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+	app   smr.Application
+
+	view     smr.View
+	sn, ex   smr.SeqNum
+	log      map[smr.SeqNum]*logEntry
+	votes    map[smr.SeqNum]map[smr.NodeID]crypto.Digest
+	chosen   map[smr.SeqNum]bool
+	lastExec map[smr.NodeID]uint64
+	replies  map[smr.NodeID][]byte
+
+	pendingReqs   []Request
+	batchTimer    smr.TimerID
+	batchTimerSet bool
+
+	electing bool
+	vcs      map[smr.NodeID]*MsgViewChange
+	progress smr.TimerID
+	watching bool
+}
+
+// NewReplica builds a replica.
+func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
+	cfg = cfg.withDefaults()
+	return &Replica{
+		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, app: app,
+		log:      make(map[smr.SeqNum]*logEntry),
+		votes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
+		chosen:   make(map[smr.SeqNum]bool),
+		lastExec: make(map[smr.NodeID]uint64),
+		replies:  make(map[smr.NodeID][]byte),
+		vcs:      make(map[smr.NodeID]*MsgViewChange),
+	}
+}
+
+// View returns the current view.
+func (r *Replica) View() smr.View { return r.view }
+
+// Init implements smr.Node.
+func (r *Replica) Init(env smr.Env) { r.env = env }
+
+// Step implements smr.Node.
+func (r *Replica) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+	case smr.TimerFired:
+		r.onTimer(e)
+	case smr.Recv:
+		r.onRecv(e.From, e.Msg)
+	}
+}
+
+func (r *Replica) isPrimary() bool { return Primary(r.n, r.view) == r.id }
+
+func (r *Replica) mac(to smr.NodeID, p []byte) crypto.MAC {
+	return r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(to), p)
+}
+
+func (r *Replica) onTimer(e smr.TimerFired) {
+	switch e.Kind {
+	case "batch":
+		if e.ID == r.batchTimer {
+			r.batchTimerSet = false
+			r.flush(true)
+		}
+	case "progress":
+		if e.ID == r.progress && r.watching {
+			r.watching = false
+			r.startViewChange(r.view + 1)
+		}
+	}
+}
+
+func (r *Replica) onRecv(from smr.NodeID, msg smr.Message) {
+	switch m := msg.(type) {
+	case *MsgRequest:
+		r.onRequest(from, m.Req)
+	case *MsgPrePrepare:
+		r.onPrePrepare(from, m)
+	case *MsgCommit:
+		r.onCommit(from, m)
+	case *MsgViewChange:
+		r.onViewChange(from, m)
+	case *MsgNewView:
+		r.onNewView(from, m)
+	}
+}
+
+func (r *Replica) onRequest(from smr.NodeID, req Request) {
+	if req.TS <= r.lastExec[req.Client] {
+		if rep, ok := r.replies[req.Client]; ok && r.isPrimary() {
+			r.reply(req.Client, req.TS, rep, true)
+		}
+		return
+	}
+	if !r.isPrimary() {
+		r.env.Send(Primary(r.n, r.view), &MsgRequest{Req: req})
+		if !r.watching {
+			r.watching = true
+			r.progress = r.env.SetTimer(r.cfg.RequestTimeout, "progress")
+		}
+		return
+	}
+	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+func (r *Replica) flush(force bool) {
+	if !r.isPrimary() || r.electing {
+		return
+	}
+	for len(r.pendingReqs) >= r.cfg.BatchSize || (force && len(r.pendingReqs) > 0) {
+		nreq := min(len(r.pendingReqs), r.cfg.BatchSize)
+		batch := Batch{Reqs: append([]Request(nil), r.pendingReqs[:nreq]...)}
+		r.pendingReqs = r.pendingReqs[nreq:]
+		r.sn++
+		sn := r.sn
+		r.log[sn] = &logEntry{View: r.view, SN: sn, Batch: batch}
+		d := batch.digest()
+		r.vote(sn, r.id, d)
+		for _, a := range Actives(r.n, r.t, r.view) {
+			if a == r.id {
+				continue
+			}
+			m := &MsgPrePrepare{View: r.view, SN: sn, Batch: batch}
+			m.MAC = r.mac(a, r.ppPayload(m))
+			r.env.Send(a, m)
+		}
+		force = false
+	}
+}
+
+func (r *Replica) ppPayload(m *MsgPrePrepare) []byte {
+	d := m.Batch.digest()
+	return wire.New(64).Str("pb-pp").U64(uint64(m.View)).U64(uint64(m.SN)).Raw(d[:]).Done()
+}
+
+func (r *Replica) onPrePrepare(from smr.NodeID, m *MsgPrePrepare) {
+	if m.View != r.view || from != Primary(r.n, m.View) || !isActive(r.n, r.t, r.view, r.id) {
+		return
+	}
+	if !r.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(r.id), r.ppPayload(m), m.MAC) {
+		return
+	}
+	if _, ok := r.log[m.SN]; ok {
+		return
+	}
+	r.log[m.SN] = &logEntry{View: m.View, SN: m.SN, Batch: m.Batch}
+	if r.sn < m.SN {
+		r.sn = m.SN
+	}
+	d := m.Batch.digest()
+	r.vote(m.SN, r.id, d)
+	r.vote(m.SN, from, d) // the pre-prepare stands for the primary's commit
+	c := &MsgCommit{View: r.view, SN: m.SN, D: d, From: r.id}
+	for _, a := range Actives(r.n, r.t, r.view) {
+		if a == r.id {
+			continue
+		}
+		cc := *c
+		cc.MAC = r.mac(a, r.commitPayload(&cc))
+		r.env.Send(a, &cc)
+	}
+	r.checkCommitted(m.SN, d)
+}
+
+func (r *Replica) commitPayload(m *MsgCommit) []byte {
+	return wire.New(64).Str("pb-cm").U64(uint64(m.View)).U64(uint64(m.SN)).Raw(m.D[:]).I64(int64(m.From)).Done()
+}
+
+func (r *Replica) onCommit(from smr.NodeID, m *MsgCommit) {
+	if m.View != r.view || m.From != from || !isActive(r.n, r.t, r.view, r.id) {
+		return
+	}
+	if !r.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(r.id), r.commitPayload(m), m.MAC) {
+		return
+	}
+	r.vote(m.SN, from, m.D)
+	r.checkCommitted(m.SN, m.D)
+}
+
+func (r *Replica) vote(sn smr.SeqNum, from smr.NodeID, d crypto.Digest) {
+	v := r.votes[sn]
+	if v == nil {
+		v = make(map[smr.NodeID]crypto.Digest)
+		r.votes[sn] = v
+	}
+	v[from] = d
+}
+
+func (r *Replica) checkCommitted(sn smr.SeqNum, d crypto.Digest) {
+	if r.chosen[sn] {
+		return
+	}
+	e, ok := r.log[sn]
+	if !ok || e.Batch.digest() != d {
+		return
+	}
+	count := 0
+	for _, vd := range r.votes[sn] {
+		if vd == d {
+			count++
+		}
+	}
+	if count < 2*r.t+1 {
+		return
+	}
+	r.chosen[sn] = true
+	delete(r.votes, sn)
+	r.watching = false
+	r.execute()
+}
+
+func (r *Replica) execute() {
+	for r.chosen[r.ex+1] {
+		e := r.log[r.ex+1]
+		r.ex++
+		for i := range e.Batch.Reqs {
+			req := &e.Batch.Reqs[i]
+			var rep []byte
+			if req.TS <= r.lastExec[req.Client] {
+				rep = r.replies[req.Client]
+			} else {
+				rep = r.app.Execute(req.Op)
+				r.lastExec[req.Client] = req.TS
+				r.replies[req.Client] = rep
+			}
+			if r.cfg.Observer != nil {
+				r.cfg.Observer(smr.Committed{Replica: r.id, View: e.View, Seq: e.SN, Client: req.Client, ClientTS: req.TS})
+			}
+			r.reply(req.Client, req.TS, rep, r.isPrimary())
+		}
+	}
+}
+
+func (r *Replica) reply(client smr.NodeID, ts uint64, rep []byte, full bool) {
+	m := &MsgReply{From: r.id, View: r.view, TS: ts, RepD: crypto.Hash(rep)}
+	if full {
+		m.Rep = rep
+	}
+	m.MAC = r.mac(client, r.replyPayload(m))
+	r.env.Send(client, m)
+}
+
+func (r *Replica) replyPayload(m *MsgReply) []byte {
+	return wire.New(64 + len(m.Rep)).Str("pb-rep").I64(int64(m.From)).U64(uint64(m.View)).U64(m.TS).Raw(m.RepD[:]).Bytes(m.Rep).Done()
+}
+
+// ---------------------------------------------------------------------------
+// View change (crash-fault-grade; see package comment)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) startViewChange(v smr.View) {
+	if v <= r.view && r.electing {
+		return
+	}
+	if v < r.view {
+		return
+	}
+	r.view = v
+	r.electing = true
+	r.vcs = make(map[smr.NodeID]*MsgViewChange)
+	entries := make([]logEntry, 0, len(r.log))
+	for _, e := range r.log {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].SN < entries[j].SN })
+	m := &MsgViewChange{View: v, From: r.id, Entries: entries}
+	m.Sig = r.suite.Sign(crypto.NodeID(r.id), m.sigPayload())
+	if r.isPrimary() {
+		r.addVC(m)
+		return
+	}
+	r.env.Send(Primary(r.n, v), m)
+	// Push the rest of the group into the view change as well.
+	for i := 0; i < r.n; i++ {
+		if smr.NodeID(i) != r.id && smr.NodeID(i) != Primary(r.n, v) {
+			r.env.Send(smr.NodeID(i), m)
+		}
+	}
+	r.watching = true
+	r.progress = r.env.SetTimer(r.cfg.RequestTimeout, "progress")
+}
+
+func (r *Replica) onViewChange(from smr.NodeID, m *MsgViewChange) {
+	if m.From != from || m.View < r.view {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(m.From), m.sigPayload(), m.Sig) {
+		return
+	}
+	if m.View > r.view || !r.electing {
+		r.startViewChange(m.View)
+	}
+	if Primary(r.n, r.view) == r.id && m.View == r.view {
+		r.addVC(m)
+	}
+}
+
+func (r *Replica) addVC(m *MsgViewChange) {
+	r.vcs[m.From] = m
+	if len(r.vcs) < 2*r.t+1 {
+		return
+	}
+	best := make(map[smr.SeqNum]*logEntry)
+	var maxSN smr.SeqNum
+	for _, vc := range r.vcs {
+		for i := range vc.Entries {
+			e := vc.Entries[i]
+			if cur, ok := best[e.SN]; !ok || e.View > cur.View {
+				best[e.SN] = &e
+			}
+			if e.SN > maxSN {
+				maxSN = e.SN
+			}
+		}
+	}
+	entries := make([]logEntry, 0, len(best))
+	for sn := smr.SeqNum(1); sn <= maxSN; sn++ {
+		e, ok := best[sn]
+		if !ok {
+			e = &logEntry{View: r.view, SN: sn, Batch: Batch{}}
+		}
+		e.View = r.view
+		entries = append(entries, *e)
+	}
+	nv := &MsgNewView{View: r.view, Entries: entries}
+	nv.Sig = r.suite.Sign(crypto.NodeID(r.id), nv.sigPayload())
+	for i := 0; i < r.n; i++ {
+		if smr.NodeID(i) != r.id {
+			r.env.Send(smr.NodeID(i), nv)
+		}
+	}
+	r.installNewView(nv)
+}
+
+func (r *Replica) onNewView(from smr.NodeID, m *MsgNewView) {
+	if from != Primary(r.n, m.View) || m.View < r.view {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(from), m.sigPayload(), m.Sig) {
+		return
+	}
+	r.view = m.View
+	r.installNewView(m)
+}
+
+func (r *Replica) installNewView(m *MsgNewView) {
+	r.electing = false
+	r.watching = false
+	r.vcs = make(map[smr.NodeID]*MsgViewChange)
+	var maxSN smr.SeqNum
+	for i := range m.Entries {
+		e := m.Entries[i]
+		r.log[e.SN] = &e
+		r.chosen[e.SN] = true
+		if e.SN > maxSN {
+			maxSN = e.SN
+		}
+	}
+	if r.sn < maxSN {
+		r.sn = maxSN
+	}
+	r.votes = make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest)
+	r.execute()
+	if r.isPrimary() {
+		r.flush(true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+// Client is a closed-loop PBFT client: it commits on t+1 matching
+// replies (one of which carries the payload).
+type Client struct {
+	env   smr.Env
+	cfg   Config
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+
+	ts      uint64
+	view    smr.View
+	pending *pendingReq
+
+	// OnCommit receives (op, reply, latency).
+	OnCommit func(op, rep []byte, latency time.Duration)
+	// Committed counts completed requests.
+	Committed uint64
+}
+
+type pendingReq struct {
+	req    Request
+	sentAt time.Duration
+	timer  smr.TimerID
+	votes  map[smr.NodeID]crypto.Digest
+	rep    []byte
+	repD   crypto.Digest
+	hasRep bool
+}
+
+// NewClient builds a client.
+func NewClient(id smr.NodeID, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite}
+}
+
+// Init implements smr.Node.
+func (c *Client) Init(env smr.Env) { c.env = env }
+
+// Invoke submits an operation.
+func (c *Client) Invoke(op []byte) {
+	if c.pending != nil {
+		panic("pbft: client invoked with request outstanding")
+	}
+	c.ts++
+	req := Request{Op: op, TS: c.ts, Client: c.id}
+	c.pending = &pendingReq{req: req, sentAt: c.env.Now(), votes: make(map[smr.NodeID]crypto.Digest)}
+	c.env.Send(Primary(c.n, c.view), &MsgRequest{Req: req})
+	c.pending.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+}
+
+// Step implements smr.Node.
+func (c *Client) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+	case smr.Invoke:
+		c.Invoke(e.Op)
+	case smr.TimerFired:
+		if c.pending != nil && e.ID == c.pending.timer {
+			for i := 0; i < c.n; i++ {
+				c.env.Send(smr.NodeID(i), &MsgRequest{Req: c.pending.req})
+			}
+			c.pending.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+		}
+	case smr.Recv:
+		m, ok := e.Msg.(*MsgReply)
+		if !ok || c.pending == nil || m.TS != c.pending.req.TS || m.From != e.From {
+			return
+		}
+		payload := wire.New(64 + len(m.Rep)).Str("pb-rep").I64(int64(m.From)).U64(uint64(m.View)).U64(m.TS).Raw(m.RepD[:]).Bytes(m.Rep).Done()
+		if !c.suite.VerifyMAC(crypto.NodeID(e.From), crypto.NodeID(c.id), payload, m.MAC) {
+			return
+		}
+		if m.View > c.view {
+			c.view = m.View
+		}
+		p := c.pending
+		p.votes[m.From] = m.RepD
+		if m.Rep != nil && crypto.Hash(m.Rep) == m.RepD {
+			p.rep, p.repD, p.hasRep = m.Rep, m.RepD, true
+		}
+		if !p.hasRep {
+			return
+		}
+		count := 0
+		for _, d := range p.votes {
+			if d == p.repD {
+				count++
+			}
+		}
+		if count < c.t+1 {
+			return
+		}
+		c.env.CancelTimer(p.timer)
+		c.pending = nil
+		c.Committed++
+		if c.OnCommit != nil {
+			c.OnCommit(p.req.Op, p.rep, c.env.Now()-p.sentAt)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine with a virtual clock.
+//
+// The engine maintains a priority queue of events ordered by (virtual
+// time, insertion sequence). Running the engine pops events in order
+// and invokes their callbacks; callbacks may schedule further events.
+// Because ties are broken by insertion sequence and randomness comes
+// only from a seeded generator, entire experiments are reproducible
+// bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	popped uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (time since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.popped }
+
+// Timer is a handle for a scheduled event; Cancel prevents its
+// callback from firing.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times
+// and after the event has fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t != nil && t.ev != nil && t.ev.cancelled }
+
+// At schedules fn to run at absolute virtual time at. Times in the
+// past run "now" (at the current virtual time) but still in queue
+// order.
+func (e *Engine) At(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+// Cancelled events are skipped (and not reported).
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.popped++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline. Afterwards the
+// virtual clock reads deadline (unless an event moved it beyond,
+// which cannot happen) even if the queue drained early.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for e.queue.Len() > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of events (including cancelled ones not
+// yet collected) waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

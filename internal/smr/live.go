@@ -1,0 +1,176 @@
+package smr
+
+import (
+	"sync"
+	"time"
+)
+
+// LiveRuntime runs nodes as goroutines with real timers and in-process
+// channel transport — the deployment mode behind the public xft
+// package, the examples and the cmd/ tools. The same protocol code
+// that runs under the discrete-event simulator runs here unchanged.
+type LiveRuntime struct {
+	mu      sync.Mutex
+	nodes   map[NodeID]*liveNode
+	start   time.Time
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewLiveRuntime returns an empty runtime; add nodes, then Start.
+func NewLiveRuntime() *LiveRuntime {
+	return &LiveRuntime{nodes: make(map[NodeID]*liveNode), start: time.Now()}
+}
+
+// inboxSize bounds each node's event queue; overflow drops messages,
+// which the protocols tolerate (they are built for lossy networks).
+const inboxSize = 4096
+
+type liveNode struct {
+	rt    *LiveRuntime
+	id    NodeID
+	node  Node
+	inbox chan Event
+	stop  chan struct{}
+
+	// Timer state is owned by the node goroutine except nextID, which
+	// Step (same goroutine) increments; cancelled is read by the
+	// goroutine when a TimerFired arrives.
+	nextID    TimerID
+	cancelled map[TimerID]bool
+	pending   map[TimerID]*time.Timer
+}
+
+// AddNode registers a node. Nodes added after Start are initialized
+// and launched immediately (used to attach clients to a running
+// cluster).
+func (rt *LiveRuntime) AddNode(id NodeID, node Node) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.nodes[id]; dup {
+		panic("smr: duplicate live node")
+	}
+	ln := &liveNode{
+		rt: rt, id: id, node: node,
+		inbox:     make(chan Event, inboxSize),
+		stop:      make(chan struct{}),
+		cancelled: make(map[TimerID]bool),
+		pending:   make(map[TimerID]*time.Timer),
+	}
+	rt.nodes[id] = ln
+	if rt.started {
+		node.Init(ln)
+		rt.wg.Add(1)
+		go ln.run(&rt.wg)
+	}
+}
+
+// Start initializes every node and launches its event loop.
+func (rt *LiveRuntime) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return
+	}
+	rt.started = true
+	rt.start = time.Now()
+	for _, ln := range rt.nodes {
+		ln.node.Init(ln)
+	}
+	for _, ln := range rt.nodes {
+		rt.wg.Add(1)
+		go ln.run(&rt.wg)
+	}
+}
+
+// Stop terminates all node goroutines and waits for them.
+func (rt *LiveRuntime) Stop() {
+	rt.mu.Lock()
+	for _, ln := range rt.nodes {
+		close(ln.stop)
+	}
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// Submit injects an event (typically Invoke) into a node's loop.
+func (rt *LiveRuntime) Submit(id NodeID, ev Event) {
+	rt.mu.Lock()
+	ln := rt.nodes[id]
+	rt.mu.Unlock()
+	if ln == nil {
+		return
+	}
+	select {
+	case ln.inbox <- ev:
+	default:
+	}
+}
+
+func (ln *liveNode) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	ln.node.Step(Start{})
+	for {
+		select {
+		case <-ln.stop:
+			return
+		case ev := <-ln.inbox:
+			if tf, ok := ev.(TimerFired); ok {
+				if ln.cancelled[tf.ID] {
+					delete(ln.cancelled, tf.ID)
+					continue
+				}
+				delete(ln.pending, tf.ID)
+			}
+			ln.node.Step(ev)
+		}
+	}
+}
+
+// ID implements Env.
+func (ln *liveNode) ID() NodeID { return ln.id }
+
+// Now implements Env.
+func (ln *liveNode) Now() time.Duration { return time.Since(ln.rt.start) }
+
+// Send implements Env: direct channel delivery, dropping on overflow.
+func (ln *liveNode) Send(to NodeID, m Message) {
+	ln.rt.mu.Lock()
+	dst := ln.rt.nodes[to]
+	ln.rt.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	select {
+	case dst.inbox <- Recv{From: ln.id, Msg: m}:
+	default:
+	}
+}
+
+// SetTimer implements Env.
+func (ln *liveNode) SetTimer(d time.Duration, kind string) TimerID {
+	ln.nextID++
+	id := ln.nextID
+	t := time.AfterFunc(d, func() {
+		select {
+		case ln.inbox <- TimerFired{ID: id, Kind: kind}:
+		default:
+		}
+	})
+	ln.pending[id] = t
+	return id
+}
+
+// CancelTimer implements Env.
+func (ln *liveNode) CancelTimer(id TimerID) {
+	if t, ok := ln.pending[id]; ok {
+		if t.Stop() {
+			delete(ln.pending, id)
+			return
+		}
+	}
+	// Already fired (or firing): filter it on arrival.
+	ln.cancelled[id] = true
+}
+
+var _ Env = (*liveNode)(nil)

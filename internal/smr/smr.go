@@ -1,0 +1,136 @@
+// Package smr defines the protocol-agnostic state-machine-replication
+// framework shared by every protocol in this repository (XPaxos,
+// Paxos, PBFT, Zyzzyva, Zab).
+//
+// Protocols are written as deterministic event-driven state machines:
+// a Node receives events (messages, timer expirations) through Step
+// and reacts by calling methods on its Env (send messages, set
+// timers). The same protocol code then runs under two runtimes:
+//
+//   - the discrete-event WAN simulator (internal/netsim), used for all
+//     paper experiments and most tests, and
+//   - the live runtime (internal/smr/live.go), where each node is a
+//     goroutine with real timers, used by the examples and cmd/ tools.
+package smr
+
+import (
+	"time"
+)
+
+// NodeID identifies a node. Replica IDs are 0..n-1; client IDs start
+// at ClientIDBase. One flat ID space keeps transports simple.
+type NodeID int
+
+// ClientIDBase is the first NodeID used for clients.
+const ClientIDBase NodeID = 1000
+
+// IsClient reports whether id belongs to the client range.
+func (id NodeID) IsClient() bool { return id >= ClientIDBase }
+
+// View numbers protocol configurations; all protocols here are
+// orchestrated in a sequence of views.
+type View uint64
+
+// SeqNum is a sequence number assigned to a committed request.
+type SeqNum uint64
+
+// Message is implemented by every protocol message. WireSize returns
+// the modeled size in bytes used for bandwidth accounting in the
+// simulator; it should include payload, headers and authenticators.
+type Message interface {
+	// Type returns a short name for metrics and traces, e.g. "commit".
+	Type() string
+	// WireSize returns the modeled on-the-wire size in bytes.
+	WireSize() int
+}
+
+// Event is delivered to a Node's Step method.
+type Event interface{ isEvent() }
+
+// Recv is the arrival of a message from another node.
+type Recv struct {
+	From NodeID
+	Msg  Message
+}
+
+// TimerID identifies a timer set through Env.SetTimer.
+type TimerID uint64
+
+// TimerFired signals that a timer set via Env.SetTimer expired.
+type TimerFired struct {
+	ID   TimerID
+	Kind string // the kind passed to SetTimer, for readability
+}
+
+// Start is delivered once before any other event.
+type Start struct{}
+
+// Invoke asks a client node to submit an operation. Runtimes deliver
+// it on behalf of external callers (e.g. the live runtime's
+// thread-safe submit path); under the simulator, benchmark drivers
+// call the client's Invoke method directly from event context instead.
+type Invoke struct{ Op []byte }
+
+func (Recv) isEvent()       {}
+func (TimerFired) isEvent() {}
+func (Start) isEvent()      {}
+func (Invoke) isEvent()     {}
+
+// Env is the interface a node uses to act on the world. Implementations
+// are provided by the runtimes; protocol code must not assume anything
+// beyond this contract.
+type Env interface {
+	// ID returns this node's ID.
+	ID() NodeID
+	// Now returns elapsed time since the run began (virtual under the
+	// simulator, wall-clock under the live runtime).
+	Now() time.Duration
+	// Send transmits m to the given node. Delivery is asynchronous and,
+	// under injected faults, may be delayed or dropped entirely.
+	Send(to NodeID, m Message)
+	// SetTimer arranges a TimerFired{id, kind} event after d. Kind is a
+	// label for debugging; the returned id is unique per node.
+	SetTimer(d time.Duration, kind string) TimerID
+	// CancelTimer prevents a pending timer from firing. Cancelling an
+	// already-fired or unknown timer is a no-op.
+	CancelTimer(id TimerID)
+}
+
+// Node is an event-driven protocol participant (replica or client).
+type Node interface {
+	// Init is called exactly once, before any Step, with the node's
+	// environment.
+	Init(env Env)
+	// Step processes one event. Implementations must be deterministic
+	// functions of their state and the event.
+	Step(ev Event)
+}
+
+// Application is the replicated service. Execute must be
+// deterministic: every replica applies the same operations in the same
+// order and must produce identical results.
+type Application interface {
+	// Execute applies an operation and returns its reply.
+	Execute(op []byte) []byte
+	// Snapshot returns a serialized copy of the full state (used by
+	// checkpointing and state transfer).
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot produced by Snapshot.
+	Restore(snap []byte) error
+}
+
+// Committed reports a request commitment to interested observers
+// (tests, benchmarks, consistency checkers).
+type Committed struct {
+	Replica  NodeID
+	View     View
+	Seq      SeqNum
+	Digest   [32]byte // digest of the request (crypto.Digest)
+	Client   NodeID
+	ClientTS uint64
+}
+
+// CommitObserver receives commit notifications. Protocols invoke it
+// synchronously from Step, so implementations must be fast and must
+// not call back into the node.
+type CommitObserver func(c Committed)

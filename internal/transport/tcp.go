@@ -1,0 +1,280 @@
+// Package transport runs a single protocol node over real TCP with a
+// gob codec — the deployment mode behind cmd/xft-server and
+// cmd/xft-client. Peers are dialed lazily and redialed on failure;
+// messages to unreachable peers are dropped, which the protocols
+// tolerate by design.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+// envelope frames a message on the wire.
+type envelope struct {
+	From smr.NodeID
+	Msg  smr.Message
+}
+
+// RegisterXPaxosMessages registers every XPaxos message type with gob.
+// Call once per process before Serve/Dial.
+func RegisterXPaxosMessages() {
+	gob.Register(&xpaxos.MsgReplicate{})
+	gob.Register(&xpaxos.MsgResend{})
+	gob.Register(&xpaxos.MsgPrepare{})
+	gob.Register(&xpaxos.MsgCommitReq{})
+	gob.Register(&xpaxos.MsgCommit{})
+	gob.Register(&xpaxos.MsgReply{})
+	gob.Register(&xpaxos.MsgReplyDigest{})
+	gob.Register(&xpaxos.MsgReplySign{})
+	gob.Register(&xpaxos.MsgSignedReply{})
+	gob.Register(&xpaxos.MsgSuspect{})
+	gob.Register(&xpaxos.MsgViewChange{})
+	gob.Register(&xpaxos.MsgVCFinal{})
+	gob.Register(&xpaxos.MsgVCConfirm{})
+	gob.Register(&xpaxos.MsgNewView{})
+	gob.Register(&xpaxos.MsgPrechk{})
+	gob.Register(&xpaxos.MsgChkpt{})
+	gob.Register(&xpaxos.MsgLazyChk{})
+	gob.Register(&xpaxos.MsgLazyCommit{})
+	gob.Register(&xpaxos.MsgFaultProof{})
+	gob.Register(&xpaxos.MsgForkIIQuery{})
+}
+
+// Node hosts one protocol node on a TCP endpoint.
+type Node struct {
+	id    smr.NodeID
+	node  smr.Node
+	peers map[smr.NodeID]string
+
+	inbox chan smr.Event
+	stop  chan struct{}
+	ln    net.Listener
+	start time.Time
+
+	mu    sync.Mutex
+	conns map[smr.NodeID]*peerConn
+
+	nextTimer smr.TimerID
+	cancelled map[smr.TimerID]bool
+	pending   map[smr.TimerID]*time.Timer
+	wg        sync.WaitGroup
+}
+
+type peerConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+// NewNode prepares a node bound to listenAddr; peers maps every node
+// id (replicas and clients) to its address.
+func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.NodeID]string) (*Node, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	return &Node{
+		id: id, node: node, peers: peers, ln: ln,
+		inbox:     make(chan smr.Event, 4096),
+		stop:      make(chan struct{}),
+		conns:     make(map[smr.NodeID]*peerConn),
+		cancelled: make(map[smr.TimerID]bool),
+		pending:   make(map[smr.TimerID]*time.Timer),
+		start:     time.Now(),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Run starts the accept loop and the node's event loop; it blocks
+// until Stop.
+func (n *Node) Run() {
+	n.wg.Add(1)
+	go n.acceptLoop()
+	n.node.Init(n)
+	n.node.Step(smr.Start{})
+	for {
+		select {
+		case <-n.stop:
+			n.wg.Wait()
+			return
+		case ev := <-n.inbox:
+			if tf, ok := ev.(smr.TimerFired); ok {
+				if n.cancelled[tf.ID] {
+					delete(n.cancelled, tf.ID)
+					continue
+				}
+				delete(n.pending, tf.ID)
+			}
+			n.node.Step(ev)
+		}
+	}
+}
+
+// Submit injects an event (e.g. smr.Invoke) into the node's loop.
+func (n *Node) Submit(ev smr.Event) {
+	select {
+	case n.inbox <- ev:
+	case <-n.stop:
+	}
+}
+
+// Stop terminates the node.
+func (n *Node) Stop() {
+	close(n.stop)
+	n.ln.Close()
+	n.mu.Lock()
+	for _, pc := range n.conns {
+		pc.c.Close()
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	defer conn.Close()
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case n.inbox <- smr.Recv{From: env.From, Msg: env.Msg}:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// --- smr.Env ---------------------------------------------------------------
+
+// ID implements smr.Env.
+func (n *Node) ID() smr.NodeID { return n.id }
+
+// Now implements smr.Env.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Send implements smr.Env: lazily dialed, dropped on failure.
+func (n *Node) Send(to smr.NodeID, m smr.Message) {
+	pc := n.conn(to)
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	err := pc.enc.Encode(envelope{From: n.id, Msg: m})
+	pc.mu.Unlock()
+	if err != nil {
+		n.dropConn(to, pc)
+	}
+}
+
+func (n *Node) conn(to smr.NodeID) *peerConn {
+	n.mu.Lock()
+	pc := n.conns[to]
+	n.mu.Unlock()
+	if pc != nil {
+		return pc
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil
+	}
+	pc = &peerConn{enc: gob.NewEncoder(c), c: c}
+	n.mu.Lock()
+	if existing := n.conns[to]; existing != nil {
+		n.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	n.conns[to] = pc
+	n.mu.Unlock()
+	return pc
+}
+
+func (n *Node) dropConn(to smr.NodeID, pc *peerConn) {
+	n.mu.Lock()
+	if n.conns[to] == pc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	pc.c.Close()
+}
+
+// SetTimer implements smr.Env.
+func (n *Node) SetTimer(d time.Duration, kind string) smr.TimerID {
+	n.nextTimer++
+	id := n.nextTimer
+	t := time.AfterFunc(d, func() {
+		select {
+		case n.inbox <- smr.TimerFired{ID: id, Kind: kind}:
+		case <-n.stop:
+		}
+	})
+	n.pending[id] = t
+	return id
+}
+
+// CancelTimer implements smr.Env.
+func (n *Node) CancelTimer(id smr.TimerID) {
+	if t, ok := n.pending[id]; ok && t.Stop() {
+		delete(n.pending, id)
+		return
+	}
+	n.cancelled[id] = true
+}
+
+var _ smr.Env = (*Node)(nil)
+
+// ParsePeers parses "0=host:port,1=host:port,..." into a peer map.
+func ParsePeers(s string) (map[smr.NodeID]string, error) {
+	peers := make(map[smr.NodeID]string)
+	if s == "" {
+		return peers, nil
+	}
+	var id int
+	var addr string
+	for _, part := range splitComma(s) {
+		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
+			return nil, fmt.Errorf("transport: bad peer entry %q", part)
+		}
+		peers[smr.NodeID(id)] = addr
+	}
+	return peers, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package wire provides a minimal deterministic binary encoder used to
+// build signing payloads for protocol messages. Every protocol in this
+// repository signs (or MACs) the encoding produced here, so encodings
+// must be stable: fixed-width integers, length-prefixed byte strings,
+// and explicit field order.
+package wire
+
+import "encoding/binary"
+
+// Buf accumulates a deterministic encoding. The zero value is ready to
+// use.
+type Buf struct {
+	b []byte
+}
+
+// New returns a Buf with capacity preallocated.
+func New(capacity int) *Buf { return &Buf{b: make([]byte, 0, capacity)} }
+
+// U8 appends a fixed-width uint8.
+func (w *Buf) U8(v uint8) *Buf {
+	w.b = append(w.b, v)
+	return w
+}
+
+// U32 appends a fixed-width little-endian uint32.
+func (w *Buf) U32(v uint32) *Buf {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+	return w
+}
+
+// U64 appends a fixed-width little-endian uint64.
+func (w *Buf) U64(v uint64) *Buf {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+	return w
+}
+
+// I64 appends a fixed-width little-endian int64.
+func (w *Buf) I64(v int64) *Buf { return w.U64(uint64(v)) }
+
+// Bytes appends a length-prefixed byte string.
+func (w *Buf) Bytes(p []byte) *Buf {
+	w.U32(uint32(len(p)))
+	w.b = append(w.b, p...)
+	return w
+}
+
+// Str appends a length-prefixed string.
+func (w *Buf) Str(s string) *Buf { return w.Bytes([]byte(s)) }
+
+// Raw appends bytes without a length prefix (for fixed-size fields such
+// as digests).
+func (w *Buf) Raw(p []byte) *Buf {
+	w.b = append(w.b, p...)
+	return w
+}
+
+// Done returns the accumulated encoding.
+func (w *Buf) Done() []byte { return w.b }
+
+// Reader decodes values written by Buf in the same order. Every method
+// reports ok=false once the input is exhausted or malformed; callers
+// check once per field.
+type Reader struct {
+	b   []byte
+	pos int
+}
+
+// NewReader wraps an encoding produced by Buf.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// U8 reads a fixed-width uint8.
+func (r *Reader) U8() (uint8, bool) {
+	if r.pos+1 > len(r.b) {
+		return 0, false
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, true
+}
+
+// U32 reads a fixed-width uint32.
+func (r *Reader) U32() (uint32, bool) {
+	if r.pos+4 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v, true
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() (uint64, bool) {
+	if r.pos+8 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v, true
+}
+
+// I64 reads a fixed-width int64.
+func (r *Reader) I64() (int64, bool) {
+	v, ok := r.U64()
+	return int64(v), ok
+}
+
+// Bytes reads a length-prefixed byte string. The returned slice
+// aliases the input.
+func (r *Reader) Bytes() ([]byte, bool) {
+	n, ok := r.U32()
+	if !ok || r.pos+int(n) > len(r.b) {
+		return nil, false
+	}
+	v := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return v, true
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() (string, bool) {
+	b, ok := r.Bytes()
+	return string(b), ok
+}
+
+// Raw reads exactly n bytes without a length prefix.
+func (r *Reader) Raw(n int) ([]byte, bool) {
+	if r.pos+n > len(r.b) {
+		return nil, false
+	}
+	v := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return v, true
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.pos }

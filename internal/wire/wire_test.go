@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	b := New(0).U8(7).U32(1234).U64(1 << 40).I64(-99).Bytes([]byte("payload")).Str("name").Raw([]byte{1, 2, 3}).Done()
+	r := NewReader(b)
+	if v, ok := r.U8(); !ok || v != 7 {
+		t.Fatalf("u8 %v %v", v, ok)
+	}
+	if v, ok := r.U32(); !ok || v != 1234 {
+		t.Fatalf("u32 %v %v", v, ok)
+	}
+	if v, ok := r.U64(); !ok || v != 1<<40 {
+		t.Fatalf("u64 %v %v", v, ok)
+	}
+	if v, ok := r.I64(); !ok || v != -99 {
+		t.Fatalf("i64 %v %v", v, ok)
+	}
+	if v, ok := r.Bytes(); !ok || !bytes.Equal(v, []byte("payload")) {
+		t.Fatalf("bytes %q %v", v, ok)
+	}
+	if v, ok := r.Str(); !ok || v != "name" {
+		t.Fatalf("str %q %v", v, ok)
+	}
+	if v, ok := r.Raw(3); !ok || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("raw %v %v", v, ok)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+}
+
+func TestTruncatedInputsFailCleanly(t *testing.T) {
+	b := New(0).U64(42).Bytes([]byte("abc")).Done()
+	for cut := 0; cut < len(b); cut++ {
+		r := NewReader(b[:cut])
+		v, ok1 := r.U64()
+		if ok1 && v != 42 {
+			t.Fatalf("cut %d: wrong value", cut)
+		}
+		if _, ok2 := r.Bytes(); ok2 && cut < len(b) {
+			t.Fatalf("cut %d: truncated bytes read succeeded", cut)
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	check := func(a uint64, b []byte, c string) bool {
+		x := New(0).U64(a).Bytes(b).Str(c).Done()
+		y := New(0).U64(a).Bytes(b).Str(c).Done()
+		return bytes.Equal(x, y)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundTripBytes(t *testing.T) {
+	check := func(chunks [][]byte) bool {
+		w := New(0)
+		for _, c := range chunks {
+			w.Bytes(c)
+		}
+		r := NewReader(w.Done())
+		for _, c := range chunks {
+			got, ok := r.Bytes()
+			if !ok || !bytes.Equal(got, c) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

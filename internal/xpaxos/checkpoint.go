@@ -1,0 +1,358 @@
+package xpaxos
+
+import (
+	"sort"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Replicated-state snapshots
+//
+// A checkpoint snapshot covers the application state *and* the client
+// bookkeeping (last executed timestamp and cached reply per client):
+// the reply cache is part of the replicated state, so a replica that
+// restores from a snapshot produces the same reply digests as one that
+// executed the log.
+// ---------------------------------------------------------------------------
+
+// snapshotState serializes the replica's full replicated state.
+func (r *Replica) snapshotState() []byte {
+	w := wire.New(1024)
+	w.Bytes(r.app.Snapshot())
+	clients := make([]int, 0, len(r.lastExec))
+	for c := range r.lastExec {
+		clients = append(clients, int(c))
+	}
+	sort.Ints(clients)
+	w.U32(uint32(len(clients)))
+	for _, c := range clients {
+		id := smr.NodeID(c)
+		w.I64(int64(id)).U64(r.lastExec[id])
+		cr, ok := r.replies[id]
+		if !ok {
+			cr = cachedReply{}
+		}
+		w.U64(cr.TS).U64(uint64(cr.SN)).U64(uint64(cr.View)).Bytes(cr.Rep)
+	}
+	return w.Done()
+}
+
+// restoreState installs a snapshot produced by snapshotState.
+func (r *Replica) restoreState(snap []byte) bool {
+	rd := wire.NewReader(snap)
+	appSnap, ok := rd.Bytes()
+	if !ok || r.app.Restore(appSnap) != nil {
+		return false
+	}
+	n, ok := rd.U32()
+	if !ok {
+		return false
+	}
+	lastExec := make(map[smr.NodeID]uint64, n)
+	replies := make(map[smr.NodeID]cachedReply, n)
+	for i := uint32(0); i < n; i++ {
+		id, ok1 := rd.I64()
+		ts, ok2 := rd.U64()
+		crTS, ok3 := rd.U64()
+		crSN, ok4 := rd.U64()
+		crView, ok5 := rd.U64()
+		rep, ok6 := rd.Bytes()
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
+			return false
+		}
+		lastExec[smr.NodeID(id)] = ts
+		replies[smr.NodeID(id)] = cachedReply{TS: crTS, SN: smr.SeqNum(crSN), View: smr.View(crView), Rep: rep}
+	}
+	r.lastExec = lastExec
+	r.replies = replies
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing (Section 4.5.1, Figure 4)
+// ---------------------------------------------------------------------------
+
+// pendingSnapshots stores the serialized state at each checkpoint
+// candidate until the checkpoint stabilizes.
+// (declared on Replica lazily through map below)
+
+// maybeCheckpoint is called right after executing sequence number sn.
+// At every CHK-th batch the replica votes prechk (MAC-authenticated).
+func (r *Replica) maybeCheckpoint(sn smr.SeqNum) {
+	chk := r.cfg.CheckpointInterval
+	if chk == 0 || uint64(sn)%chk != 0 {
+		return
+	}
+	snap := r.snapshotState()
+	if r.pendingSnaps == nil {
+		r.pendingSnaps = make(map[smr.SeqNum][]byte)
+	}
+	r.pendingSnaps[sn] = snap
+	if !r.isActive() {
+		return // passive replicas snapshot locally but do not vote
+	}
+	d := crypto.Hash(snap)
+	m := &MsgPrechk{SN: sn, View: r.view, StateD: d, From: r.id}
+	for _, id := range r.group {
+		if id != r.id {
+			mm := *m
+			mm.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(id), mm.MACPayload())
+			r.env.Send(id, &mm)
+		}
+	}
+	r.addPrechkVote(sn, r.id, d)
+}
+
+func (r *Replica) addPrechkVote(sn smr.SeqNum, from smr.NodeID, d crypto.Digest) {
+	votes, ok := r.prechkVotes[sn]
+	if !ok {
+		votes = make(map[smr.NodeID]crypto.Digest)
+		r.prechkVotes[sn] = votes
+	}
+	votes[from] = d
+	// t+1 matching prechk messages → sign and broadcast chkpt.
+	count := 0
+	for _, vd := range votes {
+		if vd == d {
+			count++
+		}
+	}
+	if count < r.t+1 {
+		return
+	}
+	delete(r.prechkVotes, sn)
+	rec := ChkptRecord{SN: sn, View: r.view, StateD: d, From: r.id}
+	rec.Sig = r.suite.Sign(crypto.NodeID(r.id), rec.SigPayload())
+	msg := &MsgChkpt{Rec: rec}
+	for _, id := range r.group {
+		if id != r.id {
+			r.env.Send(id, msg)
+		}
+	}
+	r.addChkptVote(rec)
+}
+
+// onPrechk handles a pre-checkpoint vote.
+func (r *Replica) onPrechk(from smr.NodeID, m *MsgPrechk) {
+	if !r.isActive() || m.From != from || !InGroup(r.n, r.t, m.View, m.From) {
+		return
+	}
+	if !r.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(r.id), m.MACPayload(), m.MAC) {
+		return
+	}
+	if m.SN <= r.chk.SN {
+		return
+	}
+	r.addPrechkVote(m.SN, m.From, m.StateD)
+}
+
+// onChkpt handles a signed checkpoint record.
+func (r *Replica) onChkpt(from smr.NodeID, m *MsgChkpt) {
+	rec := m.Rec
+	if rec.From != from || rec.SN <= r.chk.SN {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(rec.From), rec.SigPayload(), rec.Sig) {
+		return
+	}
+	r.addChkptVote(rec)
+}
+
+func (r *Replica) addChkptVote(rec ChkptRecord) {
+	votes, ok := r.chkptVotes[rec.SN]
+	if !ok {
+		votes = make(map[smr.NodeID]ChkptRecord)
+		r.chkptVotes[rec.SN] = votes
+	}
+	votes[rec.From] = rec
+	matching := make([]ChkptRecord, 0, r.t+1)
+	for _, v := range votes {
+		if v.StateD == rec.StateD {
+			matching = append(matching, v)
+		}
+	}
+	if len(matching) < r.t+1 {
+		return
+	}
+	sort.Slice(matching, func(i, j int) bool { return matching[i].From < matching[j].From })
+	proof := CheckpointProof{SN: rec.SN, StateD: rec.StateD, Proof: matching[:r.t+1]}
+	snap, ok := r.pendingSnaps[rec.SN]
+	if !ok {
+		return // have not executed this far yet; stabilize later
+	}
+	r.stabilizeCheckpoint(proof, snap)
+	// Propagate to passive replicas (Figure 4, lazychk).
+	if r.isActive() && !r.cfg.DisableLazyReplication {
+		msg := &MsgLazyChk{Proof: proof}
+		for _, id := range Passive(r.n, r.t, r.view) {
+			r.env.Send(id, msg)
+		}
+	}
+}
+
+// stabilizeCheckpoint installs a stable checkpoint and truncates logs.
+func (r *Replica) stabilizeCheckpoint(proof CheckpointProof, snap []byte) {
+	if proof.SN <= r.chk.SN {
+		return
+	}
+	r.chk = proof
+	r.chkSnapshot = snap
+	for sn := range r.commitLog {
+		if sn <= proof.SN {
+			delete(r.commitLog, sn)
+		}
+	}
+	for sn := range r.prepareLog {
+		if sn <= proof.SN {
+			delete(r.prepareLog, sn)
+		}
+	}
+	for sn := range r.pendingCommits {
+		if sn <= proof.SN {
+			delete(r.pendingCommits, sn)
+		}
+	}
+	for sn := range r.pendingSnaps {
+		if sn < proof.SN {
+			delete(r.pendingSnaps, sn)
+		}
+	}
+	for sn := range r.chkptVotes {
+		if sn <= proof.SN {
+			delete(r.chkptVotes, sn)
+		}
+	}
+	for sn := range r.prechkVotes {
+		if sn <= proof.SN {
+			delete(r.prechkVotes, sn)
+		}
+	}
+}
+
+// adoptCheckpoint installs a checkpoint received through a view change
+// when we are behind: restore the snapshot and fast-forward execution.
+func (r *Replica) adoptCheckpoint(proof CheckpointProof, snap []byte) {
+	if proof.SN <= r.chk.SN {
+		return
+	}
+	if r.ex < proof.SN {
+		if !r.restoreState(snap) {
+			return
+		}
+		r.ex = proof.SN
+		if r.sn < r.ex {
+			r.sn = r.ex
+		}
+	}
+	r.stabilizeCheckpoint(proof, snap)
+}
+
+// verifyCheckpointProof checks t+1 distinct matching signed records.
+func (r *Replica) verifyCheckpointProof(p *CheckpointProof) bool {
+	if p.SN == 0 && len(p.Proof) == 0 {
+		return true // the genesis checkpoint
+	}
+	if len(p.Proof) < r.t+1 {
+		return false
+	}
+	seen := make(map[smr.NodeID]bool, len(p.Proof))
+	for i := range p.Proof {
+		rec := &p.Proof[i]
+		if rec.SN != p.SN || rec.StateD != p.StateD || seen[rec.From] {
+			return false
+		}
+		if int(rec.From) < 0 || int(rec.From) >= r.n {
+			return false
+		}
+		seen[rec.From] = true
+		if !r.suite.Verify(crypto.NodeID(rec.From), rec.SigPayload(), rec.Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Lazy replication (Section 4.5.2, Figure 5)
+// ---------------------------------------------------------------------------
+
+// lazyReplicate ships a freshly committed entry to passive replicas.
+// For t = 1 the (single) follower serves the (single) passive replica;
+// for t ≥ 2 follower j ships the entries with sn ≡ j (mod t) to every
+// passive replica, so the load splits 1/t per follower.
+func (r *Replica) lazyReplicate(entry *CommitEntry) {
+	if r.cfg.DisableLazyReplication || !r.isActive() || r.isPrimary() {
+		return
+	}
+	idx := followerIndex(r.n, r.t, r.view, r.id)
+	if idx < 0 {
+		return
+	}
+	if r.t >= 2 && int(uint64(entry.SN())%uint64(r.t)) != idx {
+		return
+	}
+	msg := &MsgLazyCommit{Entry: *entry}
+	for _, id := range Passive(r.n, r.t, r.view) {
+		r.env.Send(id, msg)
+	}
+}
+
+// onLazyCommit installs a lazily replicated entry at a passive
+// replica. The commit certificate carries t+1 signatures, so its
+// validity does not depend on trusting the sender.
+func (r *Replica) onLazyCommit(from smr.NodeID, m *MsgLazyCommit) {
+	entry := m.Entry
+	sn := entry.SN()
+	if existing, ok := r.commitLog[sn]; ok && existing.View() >= entry.View() {
+		return
+	}
+	if sn <= r.chk.SN || sn <= r.ex {
+		return
+	}
+	if !r.verifyCommitEntry(&entry) {
+		return
+	}
+	// A valid certificate from a later view tells a lagging replica the
+	// system moved on; adopt the view passively.
+	if entry.View() > r.view && r.status == statusNormal {
+		r.view = entry.View()
+		r.group = SyncGroup(r.n, r.t, r.view)
+	}
+	r.commitLog[sn] = &entry
+	r.notifyCommit(&entry)
+	r.executePassive()
+}
+
+// executePassive applies contiguous committed entries without sending
+// client replies (passive replicas stay mute, Section 4.1).
+func (r *Replica) executePassive() {
+	for {
+		entry, ok := r.commitLog[r.ex+1]
+		if !ok {
+			return
+		}
+		sn := r.ex + 1
+		r.applyBatch(&entry.Batch, sn, entry.View())
+		r.ex = sn
+		r.maybeCheckpoint(sn)
+	}
+}
+
+// onLazyChk lets a passive replica adopt a stable checkpoint proof.
+func (r *Replica) onLazyChk(from smr.NodeID, m *MsgLazyChk) {
+	proof := m.Proof
+	if proof.SN <= r.chk.SN {
+		return
+	}
+	if !r.verifyCheckpointProof(&proof) {
+		return
+	}
+	snap, ok := r.pendingSnaps[proof.SN]
+	if !ok || crypto.Hash(snap) != proof.StateD {
+		return // we have not reached this state; a view change will transfer it
+	}
+	r.stabilizeCheckpoint(proof, snap)
+}

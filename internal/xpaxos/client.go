@@ -1,0 +1,317 @@
+package xpaxos
+
+import (
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// ClientConfig parameterizes a client.
+type ClientConfig struct {
+	N, T  int
+	Suite crypto.Suite
+	// RequestTimeout is timer_c (Algorithm 4); defaults to 4Δ with the
+	// paper's Δ when zero.
+	RequestTimeout time.Duration
+	// TSBase is the starting client timestamp. A client identity that
+	// may be reused across process restarts (cmd/xft-client) must set
+	// this to a monotonically fresh value (e.g. wall-clock nanoseconds)
+	// so replicas do not dedupe new requests against the previous
+	// incarnation's timestamps.
+	TSBase uint64
+	// OnCommit is invoked when a request commits, with the reply and
+	// the request latency. Closed-loop drivers issue the next request
+	// from this callback via Invoke.
+	OnCommit func(op, reply []byte, latency time.Duration)
+}
+
+// pendingReq tracks the in-flight request.
+type pendingReq struct {
+	req     Request
+	sentAt  time.Duration
+	timer   smr.TimerID
+	replies map[smr.NodeID]replyVote
+}
+
+type replyVote struct {
+	sn        smr.SeqNum
+	view      smr.View
+	repDigest crypto.Digest
+	rep       []byte // full reply if known
+}
+
+// Client is an XPaxos client: it signs requests, sends them to the
+// primary of its current view guess, collects matching replies from
+// the t+1 active replicas, and falls back to the retransmission
+// protocol of Algorithm 4 on timeout.
+type Client struct {
+	env   smr.Env
+	cfg   ClientConfig
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+
+	ts      uint64
+	view    smr.View
+	pending *pendingReq
+
+	// Committed counts successful requests (exported for tests).
+	Committed uint64
+	// Retransmits counts timer_c expirations.
+	Retransmits uint64
+}
+
+// NewClient builds a client.
+func NewClient(id smr.NodeID, cfg ClientConfig) *Client {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 4 * 1250 * time.Millisecond
+	}
+	if cfg.N == 0 {
+		cfg.N = 2*cfg.T + 1
+	}
+	if cfg.T == 0 {
+		cfg.T = (cfg.N - 1) / 2
+	}
+	return &Client{cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, ts: cfg.TSBase}
+}
+
+// Init implements smr.Node.
+func (c *Client) Init(env smr.Env) { c.env = env }
+
+// View returns the client's current view guess.
+func (c *Client) View() smr.View { return c.view }
+
+// Invoke submits an operation. It must be called from within the
+// node's event context (e.g. the OnCommit callback, a Start handler,
+// or an smr.Invoke event). One request may be outstanding at a time —
+// clients are closed-loop, as in the paper's benchmarks.
+func (c *Client) Invoke(op []byte) {
+	if c.pending != nil {
+		panic("xpaxos: client invoked with a request outstanding")
+	}
+	c.ts++
+	req := Request{Op: op, TS: c.ts, Client: c.id}
+	req.Sig = c.suite.Sign(crypto.NodeID(c.id), req.SigPayload())
+	c.pending = &pendingReq{
+		req:     req,
+		sentAt:  c.env.Now(),
+		replies: make(map[smr.NodeID]replyVote),
+	}
+	c.env.Send(Primary(c.n, c.t, c.view), &MsgReplicate{Req: req})
+	c.pending.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+}
+
+// Step implements smr.Node.
+func (c *Client) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+	case smr.Invoke:
+		c.Invoke(e.Op)
+	case smr.TimerFired:
+		if c.pending != nil && e.ID == c.pending.timer {
+			c.onTimeout()
+		}
+	case smr.Recv:
+		c.onRecv(e.From, e.Msg)
+	}
+}
+
+func (c *Client) onRecv(from smr.NodeID, msg smr.Message) {
+	switch m := msg.(type) {
+	case *MsgReply:
+		c.onReply(from, m)
+	case *MsgReplyDigest:
+		c.onReplyDigest(from, m)
+	case *MsgSignedReply:
+		c.onSignedReply(from, m)
+	case *MsgSuspect:
+		c.onSuspect(from, m)
+	}
+}
+
+// onReply handles a full reply (the primary's; and for t = 1 the only
+// reply, carrying the follower's m1).
+func (c *Client) onReply(from smr.NodeID, m *MsgReply) {
+	p := c.pending
+	if p == nil || m.TS != p.req.TS || m.From != from {
+		return
+	}
+	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), m.MACPayload(), m.MAC) {
+		return
+	}
+	if m.View > c.view {
+		c.view = m.View
+	}
+	if c.t == 1 {
+		// Verify the follower's signature over the reply root and that
+		// our reply is bound inside it (Section 4.2.2).
+		if m.FollowerCommit == nil {
+			return
+		}
+		fc := m.FollowerCommit
+		if fc.View != m.View || fc.SN != m.SN || followerIndex(c.n, c.t, fc.View, fc.From) < 0 {
+			return
+		}
+		if !verifyOrder(c.suite, fc) {
+			return
+		}
+		// Our reply must be bound under the follower's signed root.
+		leaf := ReplyLeaf(m.TS, crypto.Hash(m.Rep))
+		if !crypto.VerifyMerkleProof(leaf, m.Proof, fc.RepRoot) {
+			return
+		}
+		c.commit(m.Rep)
+		return
+	}
+	p.replies[from] = replyVote{sn: m.SN, view: m.View, repDigest: crypto.Hash(m.Rep), rep: m.Rep}
+	c.checkQuorum()
+}
+
+// onReplyDigest handles a follower's digest reply (t ≥ 2).
+func (c *Client) onReplyDigest(from smr.NodeID, m *MsgReplyDigest) {
+	p := c.pending
+	if p == nil || m.TS != p.req.TS || m.From != from || c.t < 2 {
+		return
+	}
+	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), m.MACPayload(), m.MAC) {
+		return
+	}
+	if m.View > c.view {
+		c.view = m.View
+	}
+	p.replies[from] = replyVote{sn: m.SN, view: m.View, repDigest: m.RepDigest}
+	c.checkQuorum()
+}
+
+// checkQuorum commits when t+1 matching replies from the active
+// replicas of one view are in and the full reply is known.
+func (c *Client) checkQuorum() {
+	p := c.pending
+	if p == nil {
+		return
+	}
+	// Group votes by (view, sn, digest).
+	type key struct {
+		v  smr.View
+		sn smr.SeqNum
+		d  crypto.Digest
+	}
+	counts := make(map[key][]smr.NodeID)
+	for from, v := range p.replies {
+		counts[key{v.view, v.sn, v.repDigest}] = append(counts[key{v.view, v.sn, v.repDigest}], from)
+	}
+	for k, voters := range counts {
+		if len(voters) < c.t+1 {
+			continue
+		}
+		group := SyncGroup(c.n, c.t, k.v)
+		inGroup := 0
+		for _, id := range voters {
+			for _, g := range group {
+				if id == g {
+					inGroup++
+					break
+				}
+			}
+		}
+		if inGroup < c.t+1 {
+			continue
+		}
+		var rep []byte
+		found := false
+		for _, id := range voters {
+			if v := p.replies[id]; v.rep != nil && crypto.Hash(v.rep) == k.d {
+				rep = v.rep
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue // digests match but nobody sent the payload yet
+		}
+		c.commit(rep)
+		return
+	}
+}
+
+// onSignedReply handles the retransmission path's bundle of t+1 signed
+// replies (Algorithm 4). Signatures may stem from different views (a
+// replica signs with the view it executed in, which a view change may
+// have moved past); t+1 distinct replicas vouching for the same reply
+// digest guarantee at least one correct replica executed it.
+func (c *Client) onSignedReply(from smr.NodeID, m *MsgSignedReply) {
+	p := c.pending
+	if p == nil || len(m.Replies) < c.t+1 {
+		return
+	}
+	d := crypto.Hash(m.Rep)
+	seen := make(map[smr.NodeID]bool)
+	for i := range m.Replies {
+		rs := &m.Replies[i]
+		if rs.TS != p.req.TS || rs.Client != c.id || rs.RepDigest != d {
+			return
+		}
+		if seen[rs.From] || int(rs.From) < 0 || int(rs.From) >= c.n {
+			return
+		}
+		if !c.suite.Verify(crypto.NodeID(rs.From), rs.SigPayload(), rs.Sig) {
+			return
+		}
+		seen[rs.From] = true
+		if rs.View > c.view {
+			c.view = rs.View
+		}
+	}
+	c.commit(m.Rep)
+}
+
+// onSuspect: a replica told us the view is changing (Algorithm 4 lines
+// 11–15) — move to the next view, relay the suspicion to its active
+// replicas, and re-send the pending request to the new primary.
+func (c *Client) onSuspect(from smr.NodeID, m *MsgSuspect) {
+	if !InGroup(c.n, c.t, m.View, m.From) {
+		return
+	}
+	if !c.suite.Verify(crypto.NodeID(m.From), m.SigPayload(), m.Sig) {
+		return
+	}
+	if m.View < c.view {
+		return
+	}
+	c.view = m.View + 1
+	for _, id := range SyncGroup(c.n, c.t, c.view) {
+		c.env.Send(id, m)
+	}
+	if p := c.pending; p != nil {
+		c.env.Send(Primary(c.n, c.t, c.view), &MsgReplicate{Req: p.req})
+		c.env.CancelTimer(p.timer)
+		p.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+	}
+}
+
+// onTimeout broadcasts the request to all active replicas
+// (Algorithm 4 lines 1–2).
+func (c *Client) onTimeout() {
+	p := c.pending
+	if p == nil {
+		return
+	}
+	c.Retransmits++
+	msg := &MsgResend{Req: p.req}
+	for _, id := range SyncGroup(c.n, c.t, c.view) {
+		c.env.Send(id, msg)
+	}
+	p.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+}
+
+// commit finishes the pending request.
+func (c *Client) commit(rep []byte) {
+	p := c.pending
+	c.env.CancelTimer(p.timer)
+	c.pending = nil
+	c.Committed++
+	if c.cfg.OnCommit != nil {
+		c.cfg.OnCommit(p.req.Op, rep, c.env.Now()-p.sentAt)
+	}
+}

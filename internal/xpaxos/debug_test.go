@@ -1,0 +1,50 @@
+package xpaxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// TestDebugPrimaryCrashTrace is a diagnostic for view-change churn;
+// it prints protocol-level events. Kept skipped unless -run selects it
+// explicitly with -v.
+func TestDebugPrimaryCrashTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic test; run with -v -run TestDebugPrimaryCrashTrace")
+	}
+	c := newCluster(t, clusterOpts{t: 1, clients: 1, reqTimeout: 300 * time.Millisecond})
+	c.net.Trace = func(at time.Duration, from, to smr.NodeID, m smr.Message) {
+		switch m.(type) {
+		case *MsgSuspect, *MsgViewChange, *MsgVCFinal, *MsgNewView:
+			fmt.Printf("%8v  %d->%d  %s", at, from, to, m.Type())
+			switch mm := m.(type) {
+			case *MsgSuspect:
+				fmt.Printf(" view=%d from=%d", mm.View, mm.From)
+			case *MsgViewChange:
+				fmt.Printf(" nv=%d from=%d logs=%d", mm.NewView, mm.From, len(mm.CommitLog))
+			case *MsgVCFinal:
+				fmt.Printf(" nv=%d from=%d set=%d", mm.NewView, mm.From, len(mm.VCSet))
+			case *MsgNewView:
+				fmt.Printf(" nv=%d preps=%d", mm.NewView, len(mm.Prepares))
+			}
+			fmt.Println()
+		}
+	}
+	for i, r := range c.replicas {
+		i, r := i, r
+		r.cfg.OnViewChange = func(nv smr.View, at time.Duration) {
+			fmt.Printf("%8v  replica %d INSTALLED view %d (ex=%d sn=%d)\n", at, i, nv, r.ex, r.sn)
+		}
+	}
+	done, _ := steadyLoad(c, 0)
+	c.run(2 * time.Second)
+	fmt.Printf("=== crash s0 at %v, commits=%d\n", c.net.Now(), *done)
+	c.net.Crash(0)
+	c.run(4 * time.Second)
+	fmt.Printf("=== end commits=%d views: s1=%d s2=%d vc1=%v vc2=%v\n",
+		*done, c.replicas[1].view, c.replicas[2].view,
+		c.replicas[1].InViewChange(), c.replicas[2].InViewChange())
+}

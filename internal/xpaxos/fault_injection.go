@@ -1,0 +1,101 @@
+package xpaxos
+
+import (
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// Fault-injection hooks: entry points for modeling *non-crash machine
+// faults* in tests and experiments. A non-crash-faulty replica "acts
+// arbitrarily but cannot break cryptographic primitives" (Section 2) —
+// these hooks mutate the replica's local state exactly as stale
+// storage, memory corruption or malicious software would, while all
+// signatures remain genuine (signed with the replica's own key).
+//
+// They must never be called by production code; internal/faults wires
+// them into Byzantine test scenarios.
+
+// InjectDropCommitLog deletes commit-log entries in [from, to] — the
+// "data loss" fault of Section 4.4 that fault detection is designed to
+// catch.
+func (r *Replica) InjectDropCommitLog(from, to smr.SeqNum) {
+	for sn := from; sn <= to; sn++ {
+		delete(r.commitLog, sn)
+	}
+}
+
+// InjectDropPrepareLog deletes prepare-log entries in [from, to].
+func (r *Replica) InjectDropPrepareLog(from, to smr.SeqNum) {
+	for sn := from; sn <= to; sn++ {
+		delete(r.prepareLog, sn)
+	}
+}
+
+// InjectWipeState models a replica losing its entire protocol state —
+// logs, checkpoints, proofs, sequence counters and client bookkeeping
+// — while keeping its identity and keys. This is the "restored from an
+// empty backup" data-loss fault: the machine continues to participate
+// but remembers nothing it once acknowledged.
+func (r *Replica) InjectWipeState() {
+	r.commitLog = make(map[smr.SeqNum]*CommitEntry)
+	r.prepareLog = make(map[smr.SeqNum]*PrepareEntry)
+	r.pendingCommits = make(map[smr.SeqNum]map[smr.NodeID]Order)
+	r.pendingEntries = make(map[smr.SeqNum]*PrepareEntry)
+	r.chk = CheckpointProof{}
+	r.chkSnapshot = nil
+	r.finalProofs = make(map[smr.View][]MsgVCConfirm)
+	r.agreedVCSet = make(map[smr.View]map[vcKey]*MsgViewChange)
+	r.preView = 0
+	r.sn, r.ex = 0, 0
+	r.lastExec = make(map[smr.NodeID]uint64)
+	r.replies = make(map[smr.NodeID]cachedReply)
+	r.queued = make(map[smr.NodeID]uint64)
+	r.pendingReqs = nil
+}
+
+// InjectForkPrepare replaces the prepare-log entry at sn with a forged
+// batch signed by this replica. The forgery only verifies if this
+// replica was the primary of the entry's view — exactly the power a
+// Byzantine ex-primary has.
+func (r *Replica) InjectForkPrepare(sn smr.SeqNum, forged Batch) bool {
+	old, ok := r.prepareLog[sn]
+	if !ok {
+		return false
+	}
+	kind := KindPrepare
+	if r.t == 1 {
+		kind = KindCommit
+	}
+	o := signOrder(r.suite, kind, forged.Digest(), sn, old.View(), r.id, old.Primary.RepRoot)
+	r.prepareLog[sn] = &PrepareEntry{Batch: forged, Primary: o}
+	return true
+}
+
+// InjectRegressPrepare rewinds the prepare-log entry at sn to look as
+// if it was prepared in an older view (a fork-I fault): the replica
+// re-signs the entry's batch with a stale view number. Only meaningful
+// if the replica was the primary of that older view.
+func (r *Replica) InjectRegressPrepare(sn smr.SeqNum, oldView smr.View) bool {
+	e, ok := r.prepareLog[sn]
+	if !ok || e.View() <= oldView {
+		return false
+	}
+	kind := KindPrepare
+	if r.t == 1 {
+		kind = KindCommit
+	}
+	o := signOrder(r.suite, kind, e.Primary.BatchD, sn, oldView, r.id, e.Primary.RepRoot)
+	r.prepareLog[sn] = &PrepareEntry{Batch: e.Batch, Primary: o}
+	return true
+}
+
+// SuspectView lets operators (and demos) trigger a view change by
+// hand, e.g. to rotate the synchronous group for maintenance. It has
+// the same effect as the replica suspecting view v itself.
+func (r *Replica) SuspectView(v smr.View) { r.suspect(v) }
+
+// CommitLogLen reports the number of retained commit-log entries (for
+// tests).
+func (r *Replica) CommitLogLen() int { return len(r.commitLog) }
+
+// StableCheckpointSN reports the stable checkpoint sequence number.
+func (r *Replica) StableCheckpointSN() smr.SeqNum { return r.chk.SN }

@@ -1,0 +1,957 @@
+package xpaxos
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// status is the replica's operating mode.
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+type watchKey struct {
+	Client smr.NodeID
+	TS     uint64
+}
+
+// watchState tracks a retransmitted request being monitored by the
+// active replicas (Algorithm 4).
+type watchState struct {
+	key     watchKey
+	timer   smr.TimerID
+	sigs    map[smr.NodeID]ReplySig
+	started bool
+	// view records the view the timer was (re)armed in: an expiry only
+	// suspects that same view — a watch that straddles a view change
+	// re-arms instead, giving the new synchronous group a full timeout
+	// to make progress.
+	view smr.View
+}
+
+// cachedReply remembers the last reply sent to a client, for
+// at-most-once execution and retransmission.
+type cachedReply struct {
+	TS   uint64
+	SN   smr.SeqNum
+	View smr.View
+	Rep  []byte
+}
+
+// Replica is an XPaxos replica. It implements smr.Node; all state is
+// confined to the event loop, so it needs no locking.
+type Replica struct {
+	env   smr.Env
+	cfg   Config
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+	app   smr.Application
+
+	view   smr.View
+	status status
+	group  []smr.NodeID
+
+	// Logs. sn is the last sequence number prepared locally; ex the
+	// last executed.
+	sn, ex     smr.SeqNum
+	prepareLog map[smr.SeqNum]*PrepareEntry
+	commitLog  map[smr.SeqNum]*CommitEntry
+	// pendingCommits collects follower commit orders per sequence
+	// number until the entry is complete (t ≥ 2), or holds m1 while the
+	// t = 1 primary awaits execution order.
+	pendingCommits map[smr.SeqNum]map[smr.NodeID]Order
+	// pendingEntries buffers prepares that arrived ahead of order
+	// (possible immediately after a view change).
+	pendingEntries map[smr.SeqNum]*PrepareEntry
+
+	// Batching (primary only).
+	pendingReqs   []Request
+	batchTimer    smr.TimerID
+	batchTimerSet bool
+
+	// Client bookkeeping: at-most-once execution and reply cache.
+	lastExec map[smr.NodeID]uint64
+	replies  map[smr.NodeID]cachedReply
+	queued   map[smr.NodeID]uint64 // client -> ts queued in pendingReqs
+
+	// Retransmission watches (Algorithm 4).
+	watches     map[watchKey]*watchState
+	watchTimers map[smr.TimerID]watchKey
+
+	// Checkpointing.
+	chk          CheckpointProof
+	chkSnapshot  []byte
+	pendingSnaps map[smr.SeqNum][]byte
+	prechkVotes  map[smr.SeqNum]map[smr.NodeID]crypto.Digest
+	chkptVotes   map[smr.SeqNum]map[smr.NodeID]ChkptRecord
+
+	// View change (viewchange.go).
+	seenSuspects map[suspectKey]bool
+	vcState      *vcState
+	futureVC     map[smr.View]map[smr.NodeID]*MsgViewChange
+	futureFinal  map[smr.View]map[smr.NodeID]*MsgVCFinal
+	futureNV     map[smr.View]*MsgNewView
+
+	// Fault detection (fd.go).
+	preView     smr.View
+	finalProofs map[smr.View][]MsgVCConfirm
+	agreedVCSet map[smr.View]map[vcKey]*MsgViewChange
+	fset        map[smr.NodeID]bool
+	convicted   map[faultID]bool
+}
+
+type suspectKey struct {
+	View smr.View
+	From smr.NodeID
+}
+
+type faultID struct {
+	Culprit smr.NodeID
+	Kind    string
+	SN      smr.SeqNum
+}
+
+// NewReplica builds the replica with the given identity and
+// application. The replica joins view 0.
+func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
+	cfg = cfg.withDefaults()
+	r := &Replica{
+		cfg:            cfg,
+		id:             id,
+		n:              cfg.N,
+		t:              cfg.T,
+		suite:          cfg.Suite,
+		app:            app,
+		prepareLog:     make(map[smr.SeqNum]*PrepareEntry),
+		commitLog:      make(map[smr.SeqNum]*CommitEntry),
+		pendingCommits: make(map[smr.SeqNum]map[smr.NodeID]Order),
+		pendingEntries: make(map[smr.SeqNum]*PrepareEntry),
+		lastExec:       make(map[smr.NodeID]uint64),
+		replies:        make(map[smr.NodeID]cachedReply),
+		queued:         make(map[smr.NodeID]uint64),
+		watches:        make(map[watchKey]*watchState),
+		watchTimers:    make(map[smr.TimerID]watchKey),
+		prechkVotes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
+		chkptVotes:     make(map[smr.SeqNum]map[smr.NodeID]ChkptRecord),
+		seenSuspects:   make(map[suspectKey]bool),
+		futureVC:       make(map[smr.View]map[smr.NodeID]*MsgViewChange),
+		futureFinal:    make(map[smr.View]map[smr.NodeID]*MsgVCFinal),
+		futureNV:       make(map[smr.View]*MsgNewView),
+		finalProofs:    make(map[smr.View][]MsgVCConfirm),
+		agreedVCSet:    make(map[smr.View]map[vcKey]*MsgViewChange),
+		fset:           make(map[smr.NodeID]bool),
+		convicted:      make(map[faultID]bool),
+	}
+	r.group = SyncGroup(r.n, r.t, 0)
+	return r
+}
+
+// View returns the replica's current view (exported for tests and
+// experiment harnesses).
+func (r *Replica) View() smr.View { return r.view }
+
+// Executed returns the last executed sequence number.
+func (r *Replica) Executed() smr.SeqNum { return r.ex }
+
+// CommitLogEntry returns the commit-log entry at sn, if present.
+func (r *Replica) CommitLogEntry(sn smr.SeqNum) (*CommitEntry, bool) {
+	e, ok := r.commitLog[sn]
+	return e, ok
+}
+
+// InViewChange reports whether the replica is mid view change.
+func (r *Replica) InViewChange() bool { return r.status == statusViewChange }
+
+// Init implements smr.Node.
+func (r *Replica) Init(env smr.Env) { r.env = env }
+
+// Step implements smr.Node.
+func (r *Replica) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+		// Nothing scheduled at boot; timers start with activity.
+	case smr.TimerFired:
+		r.onTimer(e)
+	case smr.Recv:
+		r.onRecv(e.From, e.Msg)
+	}
+}
+
+func (r *Replica) onTimer(e smr.TimerFired) {
+	switch e.Kind {
+	case "batch":
+		if e.ID == r.batchTimer {
+			r.batchTimerSet = false
+			r.flushBatches(true)
+		}
+	case "watch":
+		if key, ok := r.watchTimers[e.ID]; ok {
+			delete(r.watchTimers, e.ID)
+			r.onWatchExpired(key)
+		}
+	case "vc-net":
+		r.onNetTimer(e.ID)
+	case "vc":
+		r.onVCTimer(e.ID)
+	}
+}
+
+func (r *Replica) onRecv(from smr.NodeID, msg smr.Message) {
+	switch m := msg.(type) {
+	case *MsgReplicate:
+		r.onRequest(from, m.Req, false)
+	case *MsgResend:
+		r.onResend(from, m.Req)
+	case *MsgPrepare:
+		r.onPrepare(from, m)
+	case *MsgCommitReq:
+		r.onCommitReq(from, m)
+	case *MsgCommit:
+		r.onCommit(from, m)
+	case *MsgReplySign:
+		r.onReplySign(from, m)
+	case *MsgSuspect:
+		r.onSuspect(from, m)
+	case *MsgViewChange:
+		r.onViewChange(from, m)
+	case *MsgVCFinal:
+		r.onVCFinal(from, m)
+	case *MsgVCConfirm:
+		r.onVCConfirm(from, m)
+	case *MsgNewView:
+		r.onNewView(from, m)
+	case *MsgPrechk:
+		r.onPrechk(from, m)
+	case *MsgChkpt:
+		r.onChkpt(from, m)
+	case *MsgLazyChk:
+		r.onLazyChk(from, m)
+	case *MsgLazyCommit:
+		r.onLazyCommit(from, m)
+	case *MsgFaultProof:
+		r.onFaultProof(from, m)
+	case *MsgForkIIQuery:
+		r.onForkIIQuery(from, m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Role helpers
+// ---------------------------------------------------------------------------
+
+func (r *Replica) primary() smr.NodeID     { return r.group[0] }
+func (r *Replica) isPrimary() bool         { return r.id == r.group[0] }
+func (r *Replica) followers() []smr.NodeID { return r.group[1:] }
+
+func (r *Replica) isActive() bool {
+	for _, m := range r.group {
+		if m == r.id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) isFollower(id smr.NodeID) bool {
+	for _, m := range r.group[1:] {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// followerIndex returns the 0-based index of id among the followers of
+// view v, or -1.
+func followerIndex(n, t int, v smr.View, id smr.NodeID) int {
+	g := SyncGroup(n, t, v)
+	for i, m := range g[1:] {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// sendActives sends m to every active replica except self.
+func (r *Replica) sendActives(m smr.Message) {
+	for _, id := range r.group {
+		if id != r.id {
+			r.env.Send(id, m)
+		}
+	}
+}
+
+// sendAllReplicas sends m to every replica except self.
+func (r *Replica) sendAllReplicas(m smr.Message) {
+	for i := 0; i < r.n; i++ {
+		if smr.NodeID(i) != r.id {
+			r.env.Send(smr.NodeID(i), m)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Common case: request intake and batching (primary)
+// ---------------------------------------------------------------------------
+
+// onRequest handles a client request arriving at any active replica.
+// Non-primaries forward to the primary (this also covers the
+// client-broadcast path after a timeout).
+func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
+	if !r.isActive() {
+		return
+	}
+	if !r.verifyRequest(&req) {
+		return
+	}
+	// At-most-once: an old or duplicate request gets the cached reply.
+	if last := r.lastExec[req.Client]; req.TS <= last {
+		if c, ok := r.replies[req.Client]; ok && c.TS == req.TS && r.isPrimary() {
+			r.sendReply(req.Client, &req, c)
+		}
+		return
+	}
+	if !r.isPrimary() {
+		if !forwarded {
+			r.env.Send(r.primary(), &MsgReplicate{Req: req})
+		}
+		return
+	}
+	if r.queued[req.Client] == req.TS {
+		return // already in the pipeline
+	}
+	r.queued[req.Client] = req.TS
+	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flushBatches(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+func (r *Replica) verifyRequest(req *Request) bool {
+	return r.suite.Verify(crypto.NodeID(req.Client), req.SigPayload(), req.Sig)
+}
+
+// flushBatches forms batches from pending requests. With force it also
+// flushes a partial batch (batch-timeout path).
+func (r *Replica) flushBatches(force bool) {
+	if r.status != statusNormal || !r.isPrimary() {
+		return
+	}
+	for len(r.pendingReqs) >= r.cfg.BatchSize || (force && len(r.pendingReqs) > 0) {
+		nreq := len(r.pendingReqs)
+		if nreq > r.cfg.BatchSize {
+			nreq = r.cfg.BatchSize
+		}
+		batch := Batch{Reqs: append([]Request(nil), r.pendingReqs[:nreq]...)}
+		r.pendingReqs = r.pendingReqs[nreq:]
+		r.assignBatch(batch)
+		force = false
+	}
+	if len(r.pendingReqs) > 0 && !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+// assignBatch gives the batch the next sequence number and starts the
+// common-case protocol (Section 4.2).
+func (r *Replica) assignBatch(batch Batch) {
+	r.sn++
+	sn := r.sn
+	d := batch.Digest()
+	if r.t == 1 {
+		// Figure 2b: m0 = ⟨commit, D(req), sn, i⟩σ_ps with the request.
+		m0 := signOrder(r.suite, KindCommit, d, sn, r.view, r.id, crypto.Digest{})
+		entry := &PrepareEntry{Batch: batch, Primary: m0}
+		r.prepareLog[sn] = entry
+		r.preView = r.view
+		r.env.Send(r.followers()[0], &MsgCommitReq{Entry: *entry})
+		return
+	}
+	// Figure 2a: prepare to all followers.
+	prep := signOrder(r.suite, KindPrepare, d, sn, r.view, r.id, crypto.Digest{})
+	entry := &PrepareEntry{Batch: batch, Primary: prep}
+	r.prepareLog[sn] = entry
+	r.preView = r.view
+	for _, f := range r.followers() {
+		r.env.Send(f, &MsgPrepare{Entry: *entry})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Common case, t = 1 (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+// onCommitReq is the t = 1 follower receiving ⟨req, m0⟩.
+func (r *Replica) onCommitReq(from smr.NodeID, m *MsgCommitReq) {
+	if r.status != statusNormal || r.t != 1 || !r.isActive() || r.isPrimary() {
+		return
+	}
+	e := m.Entry
+	if e.Primary.View != r.view || from != r.primary() {
+		return
+	}
+	if !r.verifyPrepareEntry(&e) {
+		r.suspect(r.view) // invalid message from an active replica
+		return
+	}
+	r.pendingEntries[e.SN()] = &e
+	r.drainFollowerT1()
+}
+
+// drainFollowerT1 processes buffered entries in sequence order.
+func (r *Replica) drainFollowerT1() {
+	for {
+		e, ok := r.pendingEntries[r.sn+1]
+		if !ok {
+			return
+		}
+		delete(r.pendingEntries, r.sn+1)
+		r.sn++
+		sn := r.sn
+		// Execute immediately (the follower runs ahead of the primary,
+		// Section 4.2.2) and sign m1 over the reply root.
+		tss, reps := r.applyBatch(&e.Batch, sn, e.Primary.View)
+		digs := make([]crypto.Digest, len(reps))
+		for i, rep := range reps {
+			digs[i] = crypto.Hash(rep)
+		}
+		root := ReplyRoot(tss, digs)
+		m1 := signOrder(r.suite, KindCommit, e.Primary.BatchD, sn, r.view, r.id, root)
+		entry := &CommitEntry{Batch: e.Batch, Primary: e.Primary, Commits: []Order{m1}}
+		r.commitLog[sn] = entry
+		r.prepareLog[sn] = &PrepareEntry{Batch: e.Batch, Primary: e.Primary}
+		r.ex = sn
+		r.notifyCommit(entry)
+		r.env.Send(r.primary(), &MsgCommit{Order: m1})
+		r.lazyReplicate(entry)
+		r.maybeCheckpoint(sn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Common case, t ≥ 2 (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+// onPrepare is a follower receiving the primary's ⟨req, prepare⟩.
+func (r *Replica) onPrepare(from smr.NodeID, m *MsgPrepare) {
+	if r.status != statusNormal || r.t < 2 || !r.isActive() || r.isPrimary() {
+		return
+	}
+	e := m.Entry
+	if e.Primary.View != r.view || from != r.primary() {
+		return
+	}
+	if !r.verifyPrepareEntry(&e) {
+		r.suspect(r.view)
+		return
+	}
+	r.pendingEntries[e.SN()] = &e
+	r.drainFollowerPrepares()
+}
+
+func (r *Replica) drainFollowerPrepares() {
+	for {
+		e, ok := r.pendingEntries[r.sn+1]
+		if !ok {
+			return
+		}
+		delete(r.pendingEntries, r.sn+1)
+		r.sn++
+		sn := r.sn
+		r.prepareLog[sn] = e
+		r.preView = r.view
+		c := signOrder(r.suite, KindCommit, e.Primary.BatchD, sn, r.view, r.id, crypto.Digest{})
+		r.addCommitVote(sn, c)
+		msg := &MsgCommit{Order: c}
+		for _, id := range r.group {
+			if id != r.id {
+				r.env.Send(id, msg)
+			}
+		}
+		r.tryAssemble(sn)
+	}
+}
+
+// onCommit handles a commit order: for t = 1 this is m1 at the
+// primary; for t ≥ 2 it is a follower's commit at any active replica.
+func (r *Replica) onCommit(from smr.NodeID, m *MsgCommit) {
+	if r.status != statusNormal || !r.isActive() {
+		return
+	}
+	o := m.Order
+	if o.View != r.view || o.From != from || !r.isFollower(from) {
+		return
+	}
+	if !verifyOrder(r.suite, &o) {
+		r.suspect(r.view)
+		return
+	}
+	r.addCommitVote(o.SN, o)
+	r.tryAssemble(o.SN)
+}
+
+func (r *Replica) addCommitVote(sn smr.SeqNum, o Order) {
+	votes, ok := r.pendingCommits[sn]
+	if !ok {
+		votes = make(map[smr.NodeID]Order, r.t)
+		r.pendingCommits[sn] = votes
+	}
+	votes[o.From] = o
+}
+
+// tryAssemble completes CommitLog[sn] once the prepare entry and all t
+// follower commits with matching digests are present. An entry
+// committed in an older view may be superseded by the re-commit of the
+// new view.
+func (r *Replica) tryAssemble(sn smr.SeqNum) {
+	pe, ok := r.prepareLog[sn]
+	if !ok {
+		return
+	}
+	if existing, done := r.commitLog[sn]; done && existing.View() >= pe.View() {
+		return
+	}
+	votes := r.pendingCommits[sn]
+	commits := make([]Order, 0, r.t)
+	for _, f := range r.followers() {
+		o, ok := votes[f]
+		if !ok || o.BatchD != pe.Primary.BatchD || o.View != pe.Primary.View {
+			return
+		}
+		commits = append(commits, o)
+	}
+	entry := &CommitEntry{Batch: pe.Batch, Primary: pe.Primary, Commits: commits}
+	r.commitLog[sn] = entry
+	delete(r.pendingCommits, sn)
+	r.notifyCommit(entry)
+	if sn <= r.ex {
+		// Re-commit of an already-executed entry (view change):
+		// answer the waiting clients from the reply cache.
+		r.resendCommittedReplies(entry)
+	} else {
+		r.tryExecute()
+	}
+	if r.t >= 2 {
+		r.lazyReplicate(entry)
+	}
+}
+
+// tryExecute applies contiguous committed entries. The t = 1 follower
+// never goes through here for fresh entries (it executes in
+// drainFollowerT1); the t = 1 primary and all t ≥ 2 actives do.
+func (r *Replica) tryExecute() {
+	for {
+		entry, ok := r.commitLog[r.ex+1]
+		if !ok {
+			return
+		}
+		sn := r.ex + 1
+		tss, reps := r.applyBatch(&entry.Batch, sn, entry.View())
+		r.ex = sn
+		r.maybeCheckpoint(sn)
+		digs := make([]crypto.Digest, len(reps))
+		for i, rep := range reps {
+			digs[i] = crypto.Hash(rep)
+		}
+		if r.t == 1 && r.isPrimary() {
+			// Check the follower's reply digest (Section 4.2.2) before
+			// answering clients: a mismatch means one of us diverged.
+			leaves := ReplyLeaves(tss, digs)
+			root := crypto.MerkleRoot(leaves)
+			if entry.Commits[0].RepRoot != root {
+				r.suspect(r.view)
+				return
+			}
+			m1 := entry.Commits[0]
+			for i := range entry.Batch.Reqs {
+				req := &entry.Batch.Reqs[i]
+				rep := MsgReply{
+					From: r.id, SN: sn, View: r.view, TS: tss[i], Rep: reps[i],
+					Proof: crypto.BuildMerkleProof(leaves, i), FollowerCommit: &m1,
+				}
+				rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+				r.env.Send(req.Client, &rep)
+			}
+		} else if r.t >= 2 {
+			for i := range entry.Batch.Reqs {
+				req := &entry.Batch.Reqs[i]
+				if r.isPrimary() {
+					rep := MsgReply{From: r.id, SN: sn, View: r.view, TS: tss[i], Rep: reps[i]}
+					rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+					r.env.Send(req.Client, &rep)
+				} else {
+					rep := MsgReplyDigest{From: r.id, SN: sn, View: r.view, TS: tss[i], RepDigest: digs[i]}
+					rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+					r.env.Send(req.Client, &rep)
+				}
+			}
+		}
+	}
+}
+
+// applyBatch executes the batch's requests in order with at-most-once
+// semantics, returning per-request timestamps and replies. Requests
+// whose timestamp was already executed return the cached reply
+// (deterministic across replicas).
+func (r *Replica) applyBatch(b *Batch, sn smr.SeqNum, v smr.View) (tss []uint64, reps [][]byte) {
+	tss = make([]uint64, len(b.Reqs))
+	reps = make([][]byte, len(b.Reqs))
+	for i := range b.Reqs {
+		req := &b.Reqs[i]
+		tss[i] = req.TS
+		if req.TS <= r.lastExec[req.Client] {
+			if c, ok := r.replies[req.Client]; ok && c.TS == req.TS {
+				reps[i] = c.Rep
+			}
+			continue
+		}
+		rep := r.app.Execute(req.Op)
+		r.lastExec[req.Client] = req.TS
+		r.replies[req.Client] = cachedReply{TS: req.TS, SN: sn, View: v, Rep: rep}
+		reps[i] = rep
+		r.onExecutedWatched(req.Client, req.TS, sn, v, rep)
+	}
+	return tss, reps
+}
+
+// sendReply re-sends a cached reply to a duplicate request. For t = 1
+// it attaches the follower commit from the commit log; the reply's
+// (SN, View) must come from that entry — after a view change the entry
+// is re-committed in a newer view than the one cached at execution.
+func (r *Replica) sendReply(client smr.NodeID, req *Request, c cachedReply) {
+	rep := MsgReply{From: r.id, SN: c.SN, View: c.View, TS: c.TS, Rep: c.Rep}
+	if r.t == 1 {
+		entry, ok := r.commitLog[c.SN]
+		if !ok {
+			return // truncated by a checkpoint; client will retransmit
+		}
+		m1 := entry.Commits[0]
+		rep.SN, rep.View = entry.SN(), entry.View()
+		rep.FollowerCommit = &m1
+		tss, digs := r.collectReplyDigests(&entry.Batch)
+		leaves := ReplyLeaves(tss, digs)
+		idx := -1
+		for i := range entry.Batch.Reqs {
+			if entry.Batch.Reqs[i].Client == client && tss[i] == c.TS {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		rep.Proof = crypto.BuildMerkleProof(leaves, idx)
+	}
+	rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(client), rep.MACPayload())
+	r.env.Send(client, &rep)
+}
+
+// resendCommittedReplies pushes replies for an entry that was
+// re-committed in a new view (its requests executed earlier): clients
+// blocked since before the view change unblock without waiting for a
+// retransmission round trip.
+func (r *Replica) resendCommittedReplies(entry *CommitEntry) {
+	for i := range entry.Batch.Reqs {
+		req := &entry.Batch.Reqs[i]
+		c, ok := r.replies[req.Client]
+		if !ok || c.TS != req.TS {
+			continue
+		}
+		if r.t == 1 {
+			if r.isPrimary() {
+				c.SN = entry.SN()
+				r.sendReply(req.Client, req, c)
+			}
+			continue
+		}
+		if r.isPrimary() {
+			rep := MsgReply{From: r.id, SN: entry.SN(), View: entry.View(), TS: c.TS, Rep: c.Rep}
+			rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+			r.env.Send(req.Client, &rep)
+		} else {
+			rep := MsgReplyDigest{From: r.id, SN: entry.SN(), View: entry.View(), TS: c.TS, RepDigest: crypto.Hash(c.Rep)}
+			rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+			r.env.Send(req.Client, &rep)
+		}
+	}
+}
+
+// notifyCommit reports each request of a committed entry to the
+// observer.
+func (r *Replica) notifyCommit(e *CommitEntry) {
+	if r.cfg.Observer == nil {
+		return
+	}
+	for i := range e.Batch.Reqs {
+		req := &e.Batch.Reqs[i]
+		r.cfg.Observer(smr.Committed{
+			Replica: r.id, View: e.View(), Seq: e.SN(),
+			Digest: req.Digest(), Client: req.Client, ClientTS: req.TS,
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Entry verification
+// ---------------------------------------------------------------------------
+
+// verifyPrepareEntry checks the primary's signature, digest binding
+// and the client signatures of the batch.
+func (r *Replica) verifyPrepareEntry(e *PrepareEntry) bool {
+	wantKind := KindPrepare
+	if r.t == 1 {
+		wantKind = KindCommit
+	}
+	if e.Primary.Kind != wantKind {
+		return false
+	}
+	if e.Primary.From != Primary(r.n, r.t, e.Primary.View) {
+		return false
+	}
+	if e.Batch.Digest() != e.Primary.BatchD {
+		return false
+	}
+	if !verifyOrder(r.suite, &e.Primary) {
+		return false
+	}
+	for i := range e.Batch.Reqs {
+		if !r.verifyRequest(&e.Batch.Reqs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyCommitEntry validates a full commit certificate: the primary's
+// order plus t follower commits of the entry's view, all binding the
+// same batch digest. Used on lazy replication and view-change paths.
+func (r *Replica) verifyCommitEntry(e *CommitEntry) bool {
+	v := e.Primary.View
+	wantKind := KindPrepare
+	if r.t == 1 {
+		wantKind = KindCommit
+	}
+	if e.Primary.Kind != wantKind || e.Primary.From != Primary(r.n, r.t, v) {
+		return false
+	}
+	if e.Batch.Digest() != e.Primary.BatchD {
+		return false
+	}
+	if !verifyOrder(r.suite, &e.Primary) {
+		return false
+	}
+	if len(e.Commits) != r.t {
+		return false
+	}
+	seen := make(map[smr.NodeID]bool, r.t)
+	for i := range e.Commits {
+		o := &e.Commits[i]
+		if o.Kind != KindCommit || o.View != v || o.SN != e.Primary.SN || o.BatchD != e.Primary.BatchD {
+			return false
+		}
+		if followerIndex(r.n, r.t, v, o.From) < 0 || seen[o.From] {
+			return false
+		}
+		seen[o.From] = true
+		if !verifyOrder(r.suite, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission handling (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+// onResend handles a client's retransmission broadcast.
+func (r *Replica) onResend(from smr.NodeID, req Request) {
+	if !r.isActive() || r.status != statusNormal {
+		return
+	}
+	if !r.verifyRequest(&req) || req.Client != from {
+		return
+	}
+	key := watchKey{Client: req.Client, TS: req.TS}
+	w, exists := r.watches[key]
+	if !exists {
+		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view}
+		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
+		r.watches[key] = w
+		r.watchTimers[w.timer] = key
+	}
+	w.started = true // a real client retransmission arms the suspicion timer
+	// Forward to the primary (it may never have seen the request).
+	if !r.isPrimary() {
+		r.env.Send(r.primary(), &MsgReplicate{Req: req})
+	} else {
+		r.onRequest(from, req, true)
+	}
+	// If we already executed it, contribute our signed reply now.
+	if c, ok := r.replies[req.Client]; ok && c.TS == req.TS {
+		r.broadcastReplySign(req.Client, req.TS, c)
+	}
+}
+
+// onExecutedWatched fires when a watched request executes.
+func (r *Replica) onExecutedWatched(client smr.NodeID, ts uint64, sn smr.SeqNum, v smr.View, rep []byte) {
+	key := watchKey{Client: client, TS: ts}
+	if _, ok := r.watches[key]; !ok {
+		return
+	}
+	r.broadcastReplySign(client, ts, cachedReply{TS: ts, SN: sn, View: v, Rep: rep})
+}
+
+func (r *Replica) broadcastReplySign(client smr.NodeID, ts uint64, c cachedReply) {
+	if w, ok := r.watches[watchKey{Client: client, TS: ts}]; ok {
+		if _, mine := w.sigs[r.id]; mine {
+			return // already contributed
+		}
+	}
+	rs := ReplySig{From: r.id, SN: c.SN, View: c.View, TS: ts, Client: client, RepDigest: crypto.Hash(c.Rep)}
+	rs.Sig = r.suite.Sign(crypto.NodeID(r.id), rs.SigPayload())
+	msg := &MsgReplySign{R: rs}
+	for _, id := range r.group {
+		if id != r.id {
+			r.env.Send(id, msg)
+		}
+	}
+	r.onReplySign(r.id, msg)
+}
+
+// onReplySign collects signed replies; with t+1 matching ones the
+// bundle goes to the client. Receiving a signed reply without a local
+// watch opens a passive watch (it collects signatures but its expiry
+// never suspects the view), so signature quorums assemble even when
+// the client's retransmission only reached part of the group.
+func (r *Replica) onReplySign(from smr.NodeID, m *MsgReplySign) {
+	rs := m.R
+	if rs.From != from {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(rs.From), rs.SigPayload(), rs.Sig) {
+		return
+	}
+	key := watchKey{Client: rs.Client, TS: rs.TS}
+	w, ok := r.watches[key]
+	if !ok {
+		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view}
+		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
+		r.watches[key] = w
+		r.watchTimers[w.timer] = key
+	}
+	if _, dup := w.sigs[rs.From]; dup {
+		return
+	}
+	w.sigs[rs.From] = rs
+	// Contribute our own signature if we executed the request and have
+	// not spoken up yet.
+	if _, mine := w.sigs[r.id]; !mine {
+		if c, okRep := r.replies[rs.Client]; okRep && c.TS == rs.TS {
+			r.broadcastReplySign(rs.Client, rs.TS, c)
+			return // re-entered through our own broadcast; quorum checked there
+		}
+	}
+	r.tryFinishWatch(w, rs.RepDigest)
+}
+
+// tryFinishWatch sends the signed-reply bundle once t+1 distinct
+// matching signatures are collected and we hold the reply payload.
+func (r *Replica) tryFinishWatch(w *watchState, digest crypto.Digest) {
+	matching := make([]ReplySig, 0, r.t+1)
+	for _, s := range w.sigs {
+		if s.RepDigest == digest {
+			matching = append(matching, s)
+		}
+	}
+	if len(matching) < r.t+1 {
+		return
+	}
+	sortReplySigs(matching)
+	c, okRep := r.replies[w.key.Client]
+	if !okRep || c.TS != w.key.TS || crypto.Hash(c.Rep) != digest {
+		return // we lack the payload; another active will answer
+	}
+	r.env.Send(w.key.Client, &MsgSignedReply{Rep: c.Rep, Replies: matching[:r.t+1]})
+	r.clearWatch(w.key)
+}
+
+func sortReplySigs(s []ReplySig) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].From < s[j-1].From; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (r *Replica) clearWatch(key watchKey) {
+	if w, ok := r.watches[key]; ok {
+		r.env.CancelTimer(w.timer)
+		delete(r.watchTimers, w.timer)
+		delete(r.watches, key)
+	}
+}
+
+// onWatchExpired: the request made no progress in time — suspect the
+// view and tell the client (Algorithm 4 lines 8–10). Passive watches
+// (opened only to aggregate signatures) expire silently, and a watch
+// armed under an older view re-arms rather than condemning a view that
+// has not had a full timeout to serve the request.
+func (r *Replica) onWatchExpired(key watchKey) {
+	w, ok := r.watches[key]
+	if !ok {
+		return
+	}
+	if !w.started {
+		delete(r.watches, key)
+		return
+	}
+	if w.view < r.view || r.status == statusViewChange {
+		w.view = r.view
+		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
+		r.watchTimers[w.timer] = key
+		return
+	}
+	delete(r.watches, key)
+	sus := r.makeSuspect(r.view)
+	r.env.Send(key.Client, sus)
+	r.suspect(r.view)
+}
+
+// makeSuspect builds our signed suspect message for view v.
+func (r *Replica) makeSuspect(v smr.View) *MsgSuspect {
+	m := &MsgSuspect{View: v, From: r.id}
+	m.Sig = r.suite.Sign(crypto.NodeID(r.id), m.SigPayload())
+	return m
+}
+
+// String describes the replica for debugging.
+func (r *Replica) String() string {
+	return fmt.Sprintf("xpaxos[%d view=%d status=%d sn=%d ex=%d]", r.id, r.view, r.status, r.sn, r.ex)
+}
+
+// equalBatches reports whether two batches contain identical requests.
+func equalBatches(a, b *Batch) bool {
+	if len(a.Reqs) != len(b.Reqs) {
+		return false
+	}
+	for i := range a.Reqs {
+		x, y := &a.Reqs[i], &b.Reqs[i]
+		if x.TS != y.TS || x.Client != y.Client || !bytes.Equal(x.Op, y.Op) {
+			return false
+		}
+	}
+	return true
+}

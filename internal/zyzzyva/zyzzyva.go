@@ -1,0 +1,773 @@
+// Package zyzzyva implements the Zyzzyva speculative BFT baseline of
+// the XFT paper (Section 5.1.2, Figure 6b): the fastest BFT protocol
+// that involves all n = 3t+1 replicas in the common case.
+//
+//	client → primary → ORDER-REQ to all 3t replicas
+//	       → every replica executes speculatively and replies directly
+//
+// The client commits on 3t+1 matching speculative responses (fast
+// path). With only 2t+1 ≤ matches < 3t+1 by the commit timer, the
+// client sends a commit certificate and completes on 2t+1
+// LOCAL-COMMIT acks (slow path). MACs authenticate all common-case
+// messages; view changes are crash-fault-grade as in package pbft.
+package zyzzyva
+
+import (
+	"sort"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
+)
+
+const msgHeader = 24
+
+// Primary returns the primary of view v.
+func Primary(n int, v smr.View) smr.NodeID { return smr.NodeID(int(v) % n) }
+
+// Request is a client request.
+type Request struct {
+	Op     []byte
+	TS     uint64
+	Client smr.NodeID
+}
+
+func (r *Request) wireSize() int { return len(r.Op) + 24 }
+
+// Batch groups requests.
+type Batch struct{ Reqs []Request }
+
+func (b *Batch) wireSize() int {
+	s := 4
+	for i := range b.Reqs {
+		s += b.Reqs[i].wireSize()
+	}
+	return s
+}
+
+func (b *Batch) digest() crypto.Digest {
+	w := wire.New(64 * len(b.Reqs)).Str("zz-batch")
+	for i := range b.Reqs {
+		r := &b.Reqs[i]
+		w.Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+	}
+	return crypto.Hash(w.Done())
+}
+
+// MsgRequest carries a client request.
+type MsgRequest struct{ Req Request }
+
+// Type implements smr.Message.
+func (m *MsgRequest) Type() string { return "request" }
+
+// WireSize implements smr.Message.
+func (m *MsgRequest) WireSize() int { return msgHeader + m.Req.wireSize() }
+
+// MsgOrderReq is the primary's ordered request broadcast.
+type MsgOrderReq struct {
+	View    smr.View
+	SN      smr.SeqNum
+	History crypto.Digest // hash chain over ordered batches
+	Batch   Batch
+	MAC     crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgOrderReq) Type() string { return "order-req" }
+
+// WireSize implements smr.Message.
+func (m *MsgOrderReq) WireSize() int { return msgHeader + 16 + 32 + m.Batch.wireSize() + len(m.MAC) }
+
+// MsgSpecResponse is a replica's speculative response to the client.
+type MsgSpecResponse struct {
+	From    smr.NodeID
+	View    smr.View
+	SN      smr.SeqNum
+	History crypto.Digest
+	TS      uint64
+	RepD    crypto.Digest
+	Rep     []byte // payload only from the primary
+	MAC     crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgSpecResponse) Type() string { return "spec-response" }
+
+// WireSize implements smr.Message.
+func (m *MsgSpecResponse) WireSize() int {
+	return msgHeader + 32 + 64 + len(m.Rep) + len(m.MAC)
+}
+
+// MsgCommitCert is the client's slow-path commit certificate: the set
+// of matching speculative responses it gathered.
+type MsgCommitCert struct {
+	Client  smr.NodeID
+	TS      uint64
+	View    smr.View
+	SN      smr.SeqNum
+	History crypto.Digest
+	Voters  []smr.NodeID
+}
+
+// Type implements smr.Message.
+func (m *MsgCommitCert) Type() string { return "commit-cert" }
+
+// WireSize implements smr.Message.
+func (m *MsgCommitCert) WireSize() int { return msgHeader + 48 + 32 + 8*len(m.Voters) }
+
+// MsgLocalCommit acknowledges a commit certificate.
+type MsgLocalCommit struct {
+	From smr.NodeID
+	TS   uint64
+	SN   smr.SeqNum
+	MAC  crypto.MAC
+}
+
+// Type implements smr.Message.
+func (m *MsgLocalCommit) Type() string { return "local-commit" }
+
+// WireSize implements smr.Message.
+func (m *MsgLocalCommit) WireSize() int { return msgHeader + 24 + len(m.MAC) }
+
+// MsgViewChange / MsgNewView reuse the crash-grade scheme (see pbft).
+type MsgViewChange struct {
+	View    smr.View
+	From    smr.NodeID
+	Entries []logEntry
+	Sig     crypto.Signature
+}
+
+// Type implements smr.Message.
+func (m *MsgViewChange) Type() string { return "view-change" }
+
+// WireSize implements smr.Message.
+func (m *MsgViewChange) WireSize() int {
+	s := msgHeader + 16 + len(m.Sig)
+	for i := range m.Entries {
+		s += 16 + m.Entries[i].Batch.wireSize()
+	}
+	return s
+}
+
+func (m *MsgViewChange) sigPayload() []byte {
+	w := wire.New(64).Str("zz-vc").U64(uint64(m.View)).I64(int64(m.From))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		d := e.Batch.digest()
+		w.U64(uint64(e.SN)).U64(uint64(e.View)).Raw(d[:])
+	}
+	return w.Done()
+}
+
+// MsgNewView installs a new view.
+type MsgNewView struct {
+	View    smr.View
+	Entries []logEntry
+	Sig     crypto.Signature
+}
+
+// Type implements smr.Message.
+func (m *MsgNewView) Type() string { return "new-view" }
+
+// WireSize implements smr.Message.
+func (m *MsgNewView) WireSize() int {
+	s := msgHeader + 8 + len(m.Sig)
+	for i := range m.Entries {
+		s += 16 + m.Entries[i].Batch.wireSize()
+	}
+	return s
+}
+
+func (m *MsgNewView) sigPayload() []byte {
+	w := wire.New(64).Str("zz-nv").U64(uint64(m.View))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		d := e.Batch.digest()
+		w.U64(uint64(e.SN)).Raw(d[:])
+	}
+	return w.Done()
+}
+
+type logEntry struct {
+	View  smr.View
+	SN    smr.SeqNum
+	Batch Batch
+}
+
+// Config parameterizes replicas and clients.
+type Config struct {
+	N, T           int
+	Suite          crypto.Suite
+	BatchSize      int
+	BatchTimeout   time.Duration
+	RequestTimeout time.Duration
+	// CommitTimeout is the client's fast-path deadline before it falls
+	// back to the slow path.
+	CommitTimeout time.Duration
+	Observer      smr.CommitObserver
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 3*c.T + 1
+	}
+	if c.T == 0 {
+		c.T = (c.N - 1) / 3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = 5 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.CommitTimeout == 0 {
+		c.CommitTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Replica is a Zyzzyva replica.
+type Replica struct {
+	env   smr.Env
+	cfg   Config
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+	app   smr.Application
+
+	view     smr.View
+	sn, ex   smr.SeqNum
+	history  crypto.Digest
+	log      map[smr.SeqNum]*logEntry
+	lastExec map[smr.NodeID]uint64
+	replies  map[smr.NodeID][]byte
+
+	pendingReqs   []Request
+	pendingOrder  map[smr.SeqNum]*MsgOrderReq
+	batchTimer    smr.TimerID
+	batchTimerSet bool
+
+	electing bool
+	vcs      map[smr.NodeID]*MsgViewChange
+	progress smr.TimerID
+	watching bool
+}
+
+// NewReplica builds a replica.
+func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
+	cfg = cfg.withDefaults()
+	return &Replica{
+		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, app: app,
+		log:          make(map[smr.SeqNum]*logEntry),
+		lastExec:     make(map[smr.NodeID]uint64),
+		replies:      make(map[smr.NodeID][]byte),
+		pendingOrder: make(map[smr.SeqNum]*MsgOrderReq),
+		vcs:          make(map[smr.NodeID]*MsgViewChange),
+	}
+}
+
+// View returns the current view.
+func (r *Replica) View() smr.View { return r.view }
+
+// Init implements smr.Node.
+func (r *Replica) Init(env smr.Env) { r.env = env }
+
+// Step implements smr.Node.
+func (r *Replica) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+	case smr.TimerFired:
+		r.onTimer(e)
+	case smr.Recv:
+		r.onRecv(e.From, e.Msg)
+	}
+}
+
+func (r *Replica) isPrimary() bool { return Primary(r.n, r.view) == r.id }
+
+func (r *Replica) mac(to smr.NodeID, p []byte) crypto.MAC {
+	return r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(to), p)
+}
+
+func (r *Replica) onTimer(e smr.TimerFired) {
+	switch e.Kind {
+	case "batch":
+		if e.ID == r.batchTimer {
+			r.batchTimerSet = false
+			r.flush(true)
+		}
+	case "progress":
+		if e.ID == r.progress && r.watching {
+			r.watching = false
+			r.startViewChange(r.view + 1)
+		}
+	}
+}
+
+func (r *Replica) onRecv(from smr.NodeID, msg smr.Message) {
+	switch m := msg.(type) {
+	case *MsgRequest:
+		r.onRequest(from, m.Req)
+	case *MsgOrderReq:
+		r.onOrderReq(from, m)
+	case *MsgCommitCert:
+		r.onCommitCert(from, m)
+	case *MsgViewChange:
+		r.onViewChange(from, m)
+	case *MsgNewView:
+		r.onNewView(from, m)
+	}
+}
+
+func (r *Replica) onRequest(from smr.NodeID, req Request) {
+	if req.TS <= r.lastExec[req.Client] {
+		if rep, ok := r.replies[req.Client]; ok {
+			r.specReply(req.Client, req.TS, rep, r.sn, r.isPrimary())
+		}
+		return
+	}
+	if !r.isPrimary() {
+		r.env.Send(Primary(r.n, r.view), &MsgRequest{Req: req})
+		if !r.watching {
+			r.watching = true
+			r.progress = r.env.SetTimer(r.cfg.RequestTimeout, "progress")
+		}
+		return
+	}
+	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+func (r *Replica) flush(force bool) {
+	if !r.isPrimary() || r.electing {
+		return
+	}
+	for len(r.pendingReqs) >= r.cfg.BatchSize || (force && len(r.pendingReqs) > 0) {
+		nreq := min(len(r.pendingReqs), r.cfg.BatchSize)
+		batch := Batch{Reqs: append([]Request(nil), r.pendingReqs[:nreq]...)}
+		r.pendingReqs = r.pendingReqs[nreq:]
+		r.sn++
+		sn := r.sn
+		d := batch.digest()
+		r.history = crypto.HashParts([]byte("zz-hist"), r.history[:], d[:])
+		r.log[sn] = &logEntry{View: r.view, SN: sn, Batch: batch}
+		for i := 0; i < r.n; i++ {
+			if smr.NodeID(i) == r.id {
+				continue
+			}
+			m := &MsgOrderReq{View: r.view, SN: sn, History: r.history, Batch: batch}
+			m.MAC = r.mac(smr.NodeID(i), r.orderPayload(m))
+			r.env.Send(smr.NodeID(i), m)
+		}
+		r.executeSpec(sn)
+		force = false
+	}
+}
+
+func (r *Replica) orderPayload(m *MsgOrderReq) []byte {
+	d := m.Batch.digest()
+	return wire.New(96).Str("zz-or").U64(uint64(m.View)).U64(uint64(m.SN)).Raw(m.History[:]).Raw(d[:]).Done()
+}
+
+func (r *Replica) onOrderReq(from smr.NodeID, m *MsgOrderReq) {
+	if m.View != r.view || from != Primary(r.n, m.View) {
+		return
+	}
+	if !r.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(r.id), r.orderPayload(m), m.MAC) {
+		return
+	}
+	r.pendingOrder[m.SN] = m
+	for {
+		next, ok := r.pendingOrder[r.sn+1]
+		if !ok {
+			return
+		}
+		delete(r.pendingOrder, r.sn+1)
+		d := next.Batch.digest()
+		want := crypto.HashParts([]byte("zz-hist"), r.history[:], d[:])
+		if want != next.History {
+			return // primary's history diverged; a real deployment would view change
+		}
+		r.sn++
+		r.history = want
+		r.log[r.sn] = &logEntry{View: next.View, SN: r.sn, Batch: next.Batch}
+		r.executeSpec(r.sn)
+		r.watching = false
+	}
+}
+
+// executeSpec speculatively executes entry sn (which must be r.ex+1)
+// and answers all its clients.
+func (r *Replica) executeSpec(sn smr.SeqNum) {
+	if sn != r.ex+1 {
+		return
+	}
+	e := r.log[sn]
+	r.ex = sn
+	for i := range e.Batch.Reqs {
+		req := &e.Batch.Reqs[i]
+		var rep []byte
+		if req.TS <= r.lastExec[req.Client] {
+			rep = r.replies[req.Client]
+		} else {
+			rep = r.app.Execute(req.Op)
+			r.lastExec[req.Client] = req.TS
+			r.replies[req.Client] = rep
+		}
+		if r.cfg.Observer != nil {
+			r.cfg.Observer(smr.Committed{Replica: r.id, View: e.View, Seq: e.SN, Client: req.Client, ClientTS: req.TS})
+		}
+		r.specReply(req.Client, req.TS, rep, sn, r.isPrimary())
+	}
+}
+
+func (r *Replica) specReply(client smr.NodeID, ts uint64, rep []byte, sn smr.SeqNum, full bool) {
+	m := &MsgSpecResponse{From: r.id, View: r.view, SN: sn, History: r.history, TS: ts, RepD: crypto.Hash(rep)}
+	if full {
+		m.Rep = rep
+	}
+	m.MAC = r.mac(client, r.specPayload(m))
+	r.env.Send(client, m)
+}
+
+func (r *Replica) specPayload(m *MsgSpecResponse) []byte {
+	return wire.New(96 + len(m.Rep)).Str("zz-sr").I64(int64(m.From)).U64(uint64(m.View)).
+		U64(uint64(m.SN)).Raw(m.History[:]).U64(m.TS).Raw(m.RepD[:]).Bytes(m.Rep).Done()
+}
+
+func (r *Replica) onCommitCert(from smr.NodeID, m *MsgCommitCert) {
+	// The replica acknowledges certificates for entries it has
+	// speculatively executed with a matching history.
+	if m.SN > r.ex {
+		return
+	}
+	ack := &MsgLocalCommit{From: r.id, TS: m.TS, SN: m.SN}
+	ack.MAC = r.mac(m.Client, r.localCommitPayload(ack))
+	r.env.Send(m.Client, ack)
+}
+
+func (r *Replica) localCommitPayload(m *MsgLocalCommit) []byte {
+	return wire.New(48).Str("zz-lc").I64(int64(m.From)).U64(m.TS).U64(uint64(m.SN)).Done()
+}
+
+// ---------------------------------------------------------------------------
+// View change (crash-fault-grade)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) startViewChange(v smr.View) {
+	if v < r.view || (v == r.view && r.electing) {
+		return
+	}
+	r.view = v
+	r.electing = true
+	r.vcs = make(map[smr.NodeID]*MsgViewChange)
+	entries := make([]logEntry, 0, len(r.log))
+	for _, e := range r.log {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].SN < entries[j].SN })
+	m := &MsgViewChange{View: v, From: r.id, Entries: entries}
+	m.Sig = r.suite.Sign(crypto.NodeID(r.id), m.sigPayload())
+	if r.isPrimary() {
+		r.addVC(m)
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if smr.NodeID(i) != r.id {
+			r.env.Send(smr.NodeID(i), m)
+		}
+	}
+	r.watching = true
+	r.progress = r.env.SetTimer(r.cfg.RequestTimeout, "progress")
+}
+
+func (r *Replica) onViewChange(from smr.NodeID, m *MsgViewChange) {
+	if m.From != from || m.View < r.view {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(m.From), m.sigPayload(), m.Sig) {
+		return
+	}
+	if m.View > r.view || !r.electing {
+		r.startViewChange(m.View)
+	}
+	if Primary(r.n, r.view) == r.id && m.View == r.view {
+		r.addVC(m)
+	}
+}
+
+func (r *Replica) addVC(m *MsgViewChange) {
+	r.vcs[m.From] = m
+	if len(r.vcs) < 2*r.t+1 {
+		return
+	}
+	best := make(map[smr.SeqNum]*logEntry)
+	var maxSN smr.SeqNum
+	for _, vc := range r.vcs {
+		for i := range vc.Entries {
+			e := vc.Entries[i]
+			if cur, ok := best[e.SN]; !ok || e.View > cur.View {
+				best[e.SN] = &e
+			}
+			if e.SN > maxSN {
+				maxSN = e.SN
+			}
+		}
+	}
+	entries := make([]logEntry, 0, len(best))
+	for sn := smr.SeqNum(1); sn <= maxSN; sn++ {
+		e, ok := best[sn]
+		if !ok {
+			e = &logEntry{View: r.view, SN: sn, Batch: Batch{}}
+		}
+		e.View = r.view
+		entries = append(entries, *e)
+	}
+	nv := &MsgNewView{View: r.view, Entries: entries}
+	nv.Sig = r.suite.Sign(crypto.NodeID(r.id), nv.sigPayload())
+	for i := 0; i < r.n; i++ {
+		if smr.NodeID(i) != r.id {
+			r.env.Send(smr.NodeID(i), nv)
+		}
+	}
+	r.installNewView(nv)
+}
+
+func (r *Replica) onNewView(from smr.NodeID, m *MsgNewView) {
+	if from != Primary(r.n, m.View) || m.View < r.view {
+		return
+	}
+	if !r.suite.Verify(crypto.NodeID(from), m.sigPayload(), m.Sig) {
+		return
+	}
+	r.view = m.View
+	r.installNewView(m)
+}
+
+func (r *Replica) installNewView(m *MsgNewView) {
+	r.electing = false
+	r.watching = false
+	r.vcs = make(map[smr.NodeID]*MsgViewChange)
+	r.pendingOrder = make(map[smr.SeqNum]*MsgOrderReq)
+	r.history = crypto.Digest{}
+	var maxSN smr.SeqNum
+	for i := range m.Entries {
+		e := m.Entries[i]
+		d := e.Batch.digest()
+		r.history = crypto.HashParts([]byte("zz-hist"), r.history[:], d[:])
+		r.log[e.SN] = &e
+		if e.SN > maxSN {
+			maxSN = e.SN
+		}
+	}
+	if r.sn < maxSN {
+		r.sn = maxSN
+	}
+	for r.ex < maxSN {
+		r.executeSpec(r.ex + 1)
+	}
+	if r.isPrimary() {
+		r.flush(true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+// Client is a closed-loop Zyzzyva client with fast and slow paths.
+type Client struct {
+	env   smr.Env
+	cfg   Config
+	id    smr.NodeID
+	n, t  int
+	suite crypto.Suite
+
+	ts      uint64
+	view    smr.View
+	pending *pendingReq
+
+	// OnCommit receives (op, reply, latency).
+	OnCommit func(op, rep []byte, latency time.Duration)
+	// Committed counts completions; FastPath/SlowPath split them.
+	Committed, FastPath, SlowPath uint64
+}
+
+type pendingReq struct {
+	req         Request
+	sentAt      time.Duration
+	reqTimer    smr.TimerID
+	commitTimer smr.TimerID
+	commitSet   bool
+	votes       map[smr.NodeID]*MsgSpecResponse
+	acks        map[smr.NodeID]bool
+	certSent    bool
+	rep         []byte
+	hasRep      bool
+}
+
+// NewClient builds a client.
+func NewClient(id smr.NodeID, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite}
+}
+
+// Init implements smr.Node.
+func (c *Client) Init(env smr.Env) { c.env = env }
+
+// Invoke submits an operation.
+func (c *Client) Invoke(op []byte) {
+	if c.pending != nil {
+		panic("zyzzyva: client invoked with request outstanding")
+	}
+	c.ts++
+	req := Request{Op: op, TS: c.ts, Client: c.id}
+	c.pending = &pendingReq{
+		req: req, sentAt: c.env.Now(),
+		votes: make(map[smr.NodeID]*MsgSpecResponse),
+		acks:  make(map[smr.NodeID]bool),
+	}
+	c.env.Send(Primary(c.n, c.view), &MsgRequest{Req: req})
+	c.pending.reqTimer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+}
+
+// Step implements smr.Node.
+func (c *Client) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.Start:
+	case smr.Invoke:
+		c.Invoke(e.Op)
+	case smr.TimerFired:
+		p := c.pending
+		if p == nil {
+			return
+		}
+		switch {
+		case e.ID == p.reqTimer:
+			for i := 0; i < c.n; i++ {
+				c.env.Send(smr.NodeID(i), &MsgRequest{Req: p.req})
+			}
+			p.reqTimer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+		case p.commitSet && e.ID == p.commitTimer:
+			c.trySlowPath()
+		}
+	case smr.Recv:
+		switch m := e.Msg.(type) {
+		case *MsgSpecResponse:
+			c.onSpecResponse(e.From, m)
+		case *MsgLocalCommit:
+			c.onLocalCommit(e.From, m)
+		}
+	}
+}
+
+func (c *Client) onSpecResponse(from smr.NodeID, m *MsgSpecResponse) {
+	p := c.pending
+	if p == nil || m.TS != p.req.TS || m.From != from {
+		return
+	}
+	payload := wire.New(96 + len(m.Rep)).Str("zz-sr").I64(int64(m.From)).U64(uint64(m.View)).
+		U64(uint64(m.SN)).Raw(m.History[:]).U64(m.TS).Raw(m.RepD[:]).Bytes(m.Rep).Done()
+	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), payload, m.MAC) {
+		return
+	}
+	if m.View > c.view {
+		c.view = m.View
+	}
+	p.votes[from] = m
+	if m.Rep != nil && crypto.Hash(m.Rep) == m.RepD {
+		p.rep, p.hasRep = m.Rep, true
+	}
+	// Fast path: all 3t+1 responses match.
+	voters, _ := c.matching()
+	if len(voters) == c.n && p.hasRep {
+		c.FastPath++
+		c.finish()
+		return
+	}
+	// Arm the slow-path timer once a majority certificate is possible.
+	if len(voters) >= 2*c.t+1 && !p.commitSet {
+		p.commitSet = true
+		p.commitTimer = c.env.SetTimer(c.cfg.CommitTimeout, "commit")
+	}
+}
+
+// matching returns the largest set of voters agreeing on (view, sn,
+// history, repD).
+func (c *Client) matching() ([]smr.NodeID, *MsgSpecResponse) {
+	p := c.pending
+	type key struct {
+		v  smr.View
+		sn smr.SeqNum
+		h  crypto.Digest
+		d  crypto.Digest
+	}
+	groups := make(map[key][]smr.NodeID)
+	var best []smr.NodeID
+	for id, m := range p.votes {
+		k := key{m.View, m.SN, m.History, m.RepD}
+		groups[k] = append(groups[k], id)
+		if len(groups[k]) > len(best) {
+			best = groups[k]
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return best, p.votes[best[0]]
+}
+
+func (c *Client) trySlowPath() {
+	p := c.pending
+	if p == nil || p.certSent {
+		return
+	}
+	voters, sample := c.matching()
+	if len(voters) < 2*c.t+1 || !p.hasRep {
+		return
+	}
+	p.certSent = true
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	cert := &MsgCommitCert{Client: c.id, TS: p.req.TS, View: sample.View, SN: sample.SN, History: sample.History, Voters: voters}
+	for i := 0; i < c.n; i++ {
+		c.env.Send(smr.NodeID(i), cert)
+	}
+}
+
+func (c *Client) onLocalCommit(from smr.NodeID, m *MsgLocalCommit) {
+	p := c.pending
+	if p == nil || m.TS != p.req.TS || m.From != from {
+		return
+	}
+	payload := wire.New(48).Str("zz-lc").I64(int64(m.From)).U64(m.TS).U64(uint64(m.SN)).Done()
+	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), payload, m.MAC) {
+		return
+	}
+	p.acks[from] = true
+	if len(p.acks) >= 2*c.t+1 && p.hasRep {
+		c.SlowPath++
+		c.finish()
+	}
+}
+
+func (c *Client) finish() {
+	p := c.pending
+	c.env.CancelTimer(p.reqTimer)
+	if p.commitSet {
+		c.env.CancelTimer(p.commitTimer)
+	}
+	c.pending = nil
+	c.Committed++
+	if c.OnCommit != nil {
+		c.OnCommit(p.req.Op, p.rep, c.env.Now()-p.sentAt)
+	}
+}
