@@ -1,0 +1,3 @@
+module github.com/xft-consensus/xft
+
+go 1.24

@@ -61,6 +61,9 @@ type Spec struct {
 	ReqSize, RepSize int
 	Clients          int
 	BatchSize        int
+	// PipelineWindow caps the XPaxos primary's in-flight batches
+	// (0 → the protocol default; 1 → lock-step).
+	PipelineWindow int
 	// ReplicaRegions[i] is replica i's region; defaults to the paper's
 	// Table 4 placement when nil. Clients live in the primary's region.
 	ReplicaRegions []int
@@ -195,7 +198,8 @@ func Build(spec Spec) *Cluster {
 			meter := crypto.NewMeter(suite)
 			cfg := xpaxos.Config{
 				N: n, T: spec.T, Suite: meter, Delta: spec.Delta,
-				BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				BatchSize: spec.BatchSize, PipelineWindow: spec.PipelineWindow,
+				RequestTimeout:    timeouts.req,
 				ViewChangeTimeout: timeouts.vc, CheckpointInterval: 32,
 				EnableFD: spec.EnableFD,
 			}

@@ -95,6 +95,32 @@ func Fig7(w io.Writer, variant string, sc Scale) {
 	}
 }
 
+// PipelineComparison measures the common-case throughput of XPaxos at
+// n=3 on the simulated WAN with the lock-step window (PipelineWindow=1,
+// one batch must commit before the next is proposed) versus the
+// pipelined default. It returns both points so benchmarks can report
+// the speedup, and renders them to w.
+func PipelineComparison(w io.Writer, sc Scale) (lockstep, pipelined Point) {
+	clients := sc.clientCounts()[len(sc.clientCounts())-1]
+	base := Spec{
+		Protocol: XPaxos, T: 1, App: NullApp, ReqSize: 1024,
+		Clients: clients, EgressMBps: sc.egressMBps(), Seed: 7,
+	}
+	lockSpec := base
+	lockSpec.PipelineWindow = 1
+	lockstep = RunPoint(lockSpec, microOp(base.ReqSize), sc.warmup(), sc.measure())
+	pipelined = RunPoint(base, microOp(base.ReqSize), sc.warmup(), sc.measure())
+	fmt.Fprintf(w, "XPaxos common case, n=3, %d clients, 1/0 benchmark\n", clients)
+	fmt.Fprintf(w, "lock-step (window=1): %7.2f kops/s  latency %6.1f ms\n",
+		lockstep.ThroughputKops, lockstep.LatencyMs)
+	fmt.Fprintf(w, "pipelined (default):  %7.2f kops/s  latency %6.1f ms\n",
+		pipelined.ThroughputKops, pipelined.LatencyMs)
+	if lockstep.ThroughputKops > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", pipelined.ThroughputKops/lockstep.ThroughputKops)
+	}
+	return lockstep, pipelined
+}
+
 // Fig8 reproduces Figure 8: CPU usage at the most loaded node (the
 // primary) versus throughput, for the 1/0 and 4/0 benchmarks at peak
 // load.

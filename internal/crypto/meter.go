@@ -1,6 +1,9 @@
 package crypto
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // CostModel assigns a CPU cost to each cryptographic operation. The
 // network simulator charges these costs to a per-node CPU queue so
@@ -65,15 +68,29 @@ func (c Counts) Cost(m CostModel) time.Duration {
 	return d
 }
 
-// Meter wraps a Suite, counting every operation. It is not
-// safe for concurrent use; in the simulator each node owns one meter,
-// and in the live runtime each replica goroutine owns one.
+// atomicCounts is the lock-free mirror of Counts used inside Meter.
+type atomicCounts struct {
+	signs, verifies, macs, macVerifies, digests, bytes atomic.Uint64
+}
+
+func (a *atomicCounts) load() Counts {
+	return Counts{
+		Signs: a.signs.Load(), Verifies: a.verifies.Load(),
+		MACs: a.macs.Load(), MACVerifies: a.macVerifies.Load(),
+		Digests: a.digests.Load(), Bytes: a.bytes.Load(),
+	}
+}
+
+// Meter wraps a Suite, counting every operation. Counters are atomic,
+// so a meter may be shared by the replica event loop and the parallel
+// verification pool; TakeWindow snapshots are taken from the owning
+// loop as before.
 type Meter struct {
 	inner Suite
-	// Window holds counts since the last TakeWindow call; Total holds
-	// counts since creation.
-	window Counts
-	total  Counts
+	// total holds counts since creation; prevWindow holds the totals at
+	// the last TakeWindow call, so a window is the difference.
+	total      atomicCounts
+	prevWindow Counts
 }
 
 // NewMeter wraps suite in a fresh meter.
@@ -82,46 +99,51 @@ func NewMeter(suite Suite) *Meter { return &Meter{inner: suite} }
 // TakeWindow returns the operations counted since the previous call
 // and resets the window.
 func (m *Meter) TakeWindow() Counts {
-	w := m.window
-	m.window = Counts{}
+	t := m.total.load()
+	w := Counts{
+		Signs: t.Signs - m.prevWindow.Signs, Verifies: t.Verifies - m.prevWindow.Verifies,
+		MACs: t.MACs - m.prevWindow.MACs, MACVerifies: t.MACVerifies - m.prevWindow.MACVerifies,
+		Digests: t.Digests - m.prevWindow.Digests, Bytes: t.Bytes - m.prevWindow.Bytes,
+	}
+	m.prevWindow = t
 	return w
 }
 
 // Total returns cumulative counts since creation.
-func (m *Meter) Total() Counts { return m.total }
-
-func (m *Meter) bump(f func(c *Counts)) {
-	f(&m.window)
-	f(&m.total)
-}
+func (m *Meter) Total() Counts { return m.total.load() }
 
 // Sign implements Suite.
 func (m *Meter) Sign(id NodeID, data []byte) Signature {
-	m.bump(func(c *Counts) { c.Signs++; c.Bytes += uint64(len(data)) })
+	m.total.signs.Add(1)
+	m.total.bytes.Add(uint64(len(data)))
 	return m.inner.Sign(id, data)
 }
 
 // Verify implements Suite.
 func (m *Meter) Verify(id NodeID, data []byte, sig Signature) bool {
-	m.bump(func(c *Counts) { c.Verifies++; c.Bytes += uint64(len(data)) })
+	m.total.verifies.Add(1)
+	m.total.bytes.Add(uint64(len(data)))
 	return m.inner.Verify(id, data, sig)
 }
 
 // MAC implements Suite.
 func (m *Meter) MAC(from, to NodeID, data []byte) MAC {
-	m.bump(func(c *Counts) { c.MACs++; c.Bytes += uint64(len(data)) })
+	m.total.macs.Add(1)
+	m.total.bytes.Add(uint64(len(data)))
 	return m.inner.MAC(from, to, data)
 }
 
 // VerifyMAC implements Suite.
 func (m *Meter) VerifyMAC(from, to NodeID, data []byte, mac MAC) bool {
-	m.bump(func(c *Counts) { c.MACVerifies++; c.Bytes += uint64(len(data)) })
+	m.total.macVerifies.Add(1)
+	m.total.bytes.Add(uint64(len(data)))
 	return m.inner.VerifyMAC(from, to, data, mac)
 }
 
 // Digest counts and computes a digest through the meter.
 func (m *Meter) Digest(data []byte) Digest {
-	m.bump(func(c *Counts) { c.Digests++; c.Bytes += uint64(len(data)) })
+	m.total.digests.Add(1)
+	m.total.bytes.Add(uint64(len(data)))
 	return Hash(data)
 }
 

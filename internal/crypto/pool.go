@@ -1,0 +1,167 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyJob is one independent signature verification: does sig
+// authenticate data under node id's key?
+type VerifyJob struct {
+	ID   NodeID
+	Data []byte
+	Sig  Signature
+}
+
+// Pool verifies batches of independent signatures across a fixed set
+// of worker goroutines. The common case of every replication protocol
+// here verifies many unrelated signatures back to back (a batch of
+// client requests, a quorum certificate); fanning those out across
+// cores removes the dominant serial cost from the hot path.
+//
+// A Pool is safe for concurrent use by any number of callers; each
+// VerifyAll call blocks until its own jobs are done. When every worker
+// is busy, submissions degrade gracefully: the calling goroutine runs
+// the job inline instead of queueing unboundedly, so a Pool can never
+// deadlock even if callers submit from inside worker context.
+type Pool struct {
+	tasks chan func()
+	// mu guards closed against the submit path: submitters hold the
+	// read side while sending, Close takes the write side before
+	// closing the channel, so a send on a closed channel is impossible
+	// and every queued task is drained before the workers exit.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// minParallelJobs is the batch size below which scatter/gather
+// overhead exceeds the win; smaller batches verify inline.
+const minParallelJobs = 2
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func(), 4*workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops the workers once queued tasks drain. It is idempotent,
+// and jobs submitted after (or concurrently with) Close run inline on
+// the caller.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+}
+
+// submit hands task to a worker, or runs it inline when the workers
+// are saturated or the pool is closed.
+func (p *Pool) submit(task func()) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		task()
+		return
+	}
+	select {
+	case p.tasks <- task:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		task() // workers saturated: caller runs
+	}
+}
+
+// VerifyAll reports whether every job verifies under s. Jobs are
+// independent, so they run concurrently; the call returns once all
+// verdicts are in. A nil pool (or a batch too small to be worth
+// scattering) verifies serially, which keeps the zero-config path
+// allocation-free and deterministic.
+//
+// The Suite must be safe for concurrent Verify calls; Ed25519Suite and
+// SimSuite are immutable after construction and Meter counts with
+// atomics, so every suite in this repository qualifies.
+func (p *Pool) VerifyAll(s Suite, jobs []VerifyJob) bool {
+	if p == nil || len(jobs) < minParallelJobs {
+		for i := range jobs {
+			if !s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig) {
+				return false
+			}
+		}
+		return true
+	}
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		p.submit(func() {
+			defer wg.Done()
+			if failed.Load() {
+				return // a sibling already failed; skip the work
+			}
+			if !s.Verify(j.ID, j.Data, j.Sig) {
+				failed.Store(true)
+			}
+		})
+	}
+	wg.Wait()
+	return !failed.Load()
+}
+
+// VerifyEach reports every job's verdict individually. Unlike
+// VerifyAll it never short-circuits: use it where invalid items are
+// filtered out rather than failing the whole batch (e.g. request
+// intake at the primary).
+func (p *Pool) VerifyEach(s Suite, jobs []VerifyJob) []bool {
+	out := make([]bool, len(jobs))
+	if p == nil || len(jobs) < minParallelJobs {
+		for i := range jobs {
+			out[i] = s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		i := i
+		j := &jobs[i]
+		p.submit(func() {
+			defer wg.Done()
+			out[i] = s.Verify(j.ID, j.Data, j.Sig)
+		})
+	}
+	wg.Wait()
+	return out
+}
+
+// sharedPool is the process-wide default pool, created on first use.
+// It is intentionally never closed: its workers park on an empty
+// channel and cost nothing while idle, and sharing one pool keeps the
+// goroutine count bounded no matter how many replicas a test or
+// simulation spins up.
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// SharedPool returns the process-wide verification pool (GOMAXPROCS
+// workers), creating it on first use.
+func SharedPool() *Pool {
+	sharedOnce.Do(func() { shared = NewPool(0) })
+	return shared
+}

@@ -1,0 +1,96 @@
+package crypto
+
+import (
+	"sync"
+	"testing"
+)
+
+func poolJobs(s Suite, n int) []VerifyJob {
+	jobs := make([]VerifyJob, n)
+	for i := range jobs {
+		data := []byte{byte(i), byte(i >> 8)}
+		jobs[i] = VerifyJob{ID: NodeID(i % 4), Data: data, Sig: s.Sign(NodeID(i%4), data)}
+	}
+	return jobs
+}
+
+func TestPoolVerifyAllAndEach(t *testing.T) {
+	s := NewSimSuite(1)
+	p := NewPool(2)
+	defer p.Close()
+
+	jobs := poolJobs(s, 17)
+	if !p.VerifyAll(s, jobs) {
+		t.Fatal("VerifyAll rejected valid jobs")
+	}
+	for _, v := range p.VerifyEach(s, jobs) {
+		if !v {
+			t.Fatal("VerifyEach rejected a valid job")
+		}
+	}
+
+	// Corrupt one signature: VerifyAll fails, VerifyEach pinpoints it.
+	jobs[5].Sig[0] ^= 0xff
+	if p.VerifyAll(s, jobs) {
+		t.Fatal("VerifyAll accepted a corrupted signature")
+	}
+	verdicts := p.VerifyEach(s, jobs)
+	for i, v := range verdicts {
+		if want := i != 5; v != want {
+			t.Fatalf("VerifyEach[%d] = %v, want %v", i, v, want)
+		}
+	}
+
+	// A nil pool verifies serially with identical semantics.
+	var np *Pool
+	if np.VerifyAll(s, jobs) {
+		t.Fatal("nil-pool VerifyAll accepted a corrupted signature")
+	}
+	if v := np.VerifyEach(s, jobs); v[5] || !v[4] {
+		t.Fatal("nil-pool VerifyEach verdicts wrong")
+	}
+}
+
+// TestPoolVerifyAfterClose is the regression test for the
+// send-on-closed-channel panic: jobs submitted after Close must run
+// inline on the caller, not crash.
+func TestPoolVerifyAfterClose(t *testing.T) {
+	s := NewSimSuite(2)
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+
+	jobs := poolJobs(s, 8)
+	if !p.VerifyAll(s, jobs) {
+		t.Fatal("VerifyAll after Close rejected valid jobs")
+	}
+	for _, v := range p.VerifyEach(s, jobs) {
+		if !v {
+			t.Fatal("VerifyEach after Close rejected a valid job")
+		}
+	}
+}
+
+// TestPoolCloseConcurrentWithVerify races Close against in-flight
+// verification batches; under -race this also checks the channel
+// discipline.
+func TestPoolCloseConcurrentWithVerify(t *testing.T) {
+	s := NewSimSuite(3)
+	p := NewPool(4)
+	jobs := poolJobs(s, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if !p.VerifyAll(s, jobs) {
+					t.Error("VerifyAll rejected valid jobs during Close race")
+					return
+				}
+			}
+		}()
+	}
+	p.Close()
+	wg.Wait()
+}

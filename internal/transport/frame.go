@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+)
+
+// The TCP transport frames every message explicitly: a 4-byte
+// little-endian payload length followed by the payload. Explicit
+// framing keeps reads robust against partial delivery (a frame is
+// either read whole or the connection errors out) and lets the
+// receiver reject hostile or corrupt length prefixes before
+// allocating.
+
+// MaxFrameSize bounds a frame payload (16 MiB). A corrupt or hostile
+// length prefix fails fast instead of provoking a huge allocation.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrameSize, on either
+// the write or the read side.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
+
+// WriteFrame writes payload as one length-prefixed frame. Header and
+// payload go out via net.Buffers — a single writev on TCP connections,
+// with no intermediate copy of the payload. Callers sharing one
+// connection must serialize WriteFrame calls (Node.Send holds the
+// per-connection lock), as frames are not atomic against concurrent
+// unsynchronized writers.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf's storage when it is large
+// enough (pass the previous return value to amortize allocations).
+// A connection closed mid-frame yields io.ErrUnexpectedEOF; a clean
+// close before any header byte yields io.EOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,11 +1,14 @@
-// Package transport runs a single protocol node over real TCP with a
-// gob codec — the deployment mode behind cmd/xft-server and
-// cmd/xft-client. Peers are dialed lazily and redialed on failure;
-// messages to unreachable peers are dropped, which the protocols
-// tolerate by design.
+// Package transport runs a single protocol node over real TCP — the
+// deployment mode behind cmd/xft-server and cmd/xft-client. Messages
+// travel as length-prefixed frames (frame.go) carrying a gob-encoded
+// envelope, so partial reads and oversized inputs fail cleanly. Peers
+// are dialed lazily and redialed on failure; messages to unreachable
+// peers are dropped, which the protocols tolerate by design.
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -53,10 +56,11 @@ type Node struct {
 	node  smr.Node
 	peers map[smr.NodeID]string
 
-	inbox chan smr.Event
-	stop  chan struct{}
-	ln    net.Listener
-	start time.Time
+	inbox    chan smr.Event
+	stop     chan struct{}
+	stopOnce sync.Once
+	ln       net.Listener
+	start    time.Time
 
 	mu    sync.Mutex
 	conns map[smr.NodeID]*peerConn
@@ -67,9 +71,13 @@ type Node struct {
 	wg        sync.WaitGroup
 }
 
+// peerConn is one outbound connection. Each frame carries a
+// self-contained gob stream (encoder state does not span frames), so a
+// receiver can resynchronize at any frame boundary; buf is reused
+// across sends under mu.
 type peerConn struct {
 	mu  sync.Mutex
-	enc *gob.Encoder
+	buf bytes.Buffer
 	c   net.Conn
 }
 
@@ -127,15 +135,18 @@ func (n *Node) Submit(ev smr.Event) {
 	}
 }
 
-// Stop terminates the node.
+// Stop terminates the node. It is idempotent: redundant calls (e.g. a
+// deferred Stop racing an explicit one) are no-ops.
 func (n *Node) Stop() {
-	close(n.stop)
-	n.ln.Close()
-	n.mu.Lock()
-	for _, pc := range n.conns {
-		pc.c.Close()
-	}
-	n.mu.Unlock()
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, pc := range n.conns {
+			pc.c.Close()
+		}
+		n.mu.Unlock()
+	})
 }
 
 func (n *Node) acceptLoop() {
@@ -150,11 +161,17 @@ func (n *Node) acceptLoop() {
 }
 
 func (n *Node) readLoop(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
 	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var buf []byte
 	for {
+		payload, err := ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload // reuse the grown storage for the next frame
 		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 			return
 		}
 		select {
@@ -173,14 +190,20 @@ func (n *Node) ID() smr.NodeID { return n.id }
 // Now implements smr.Env.
 func (n *Node) Now() time.Duration { return time.Since(n.start) }
 
-// Send implements smr.Env: lazily dialed, dropped on failure.
+// Send implements smr.Env: lazily dialed, dropped on failure. Safe
+// for concurrent callers; the per-connection lock makes each frame
+// atomic on the wire.
 func (n *Node) Send(to smr.NodeID, m smr.Message) {
 	pc := n.conn(to)
 	if pc == nil {
 		return
 	}
 	pc.mu.Lock()
-	err := pc.enc.Encode(envelope{From: n.id, Msg: m})
+	pc.buf.Reset()
+	err := gob.NewEncoder(&pc.buf).Encode(envelope{From: n.id, Msg: m})
+	if err == nil {
+		err = WriteFrame(pc.c, pc.buf.Bytes())
+	}
 	pc.mu.Unlock()
 	if err != nil {
 		n.dropConn(to, pc)
@@ -202,7 +225,7 @@ func (n *Node) conn(to smr.NodeID) *peerConn {
 	if err != nil {
 		return nil
 	}
-	pc = &peerConn{enc: gob.NewEncoder(c), c: c}
+	pc = &peerConn{c: c}
 	n.mu.Lock()
 	if existing := n.conns[to]; existing != nil {
 		n.mu.Unlock()

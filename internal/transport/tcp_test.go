@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+func init() { RegisterXPaxosMessages() }
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte("abc"), 1000),
+		make([]byte, 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: got %d bytes, want %d", len(got), len(want))
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("trailing read: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadFrame(&buf, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != "abc" {
+		t.Fatalf("second frame = %q", second)
+	}
+	// The smaller second frame must have reused the first's storage.
+	if cap(second) != cap(first) {
+		t.Errorf("buffer not reused: cap %d vs %d", cap(second), cap(first))
+	}
+}
+
+func TestFrameShortReads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello, world")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Truncate at every prefix length: a cut header reads as EOF (or
+	// ErrUnexpectedEOF past the first byte), a cut payload must always
+	// be ErrUnexpectedEOF — never a short success.
+	for cut := 0; cut < len(whole); cut++ {
+		_, err := ReadFrame(bytes.NewReader(whole[:cut]), nil)
+		switch {
+		case cut == 0:
+			if err != io.EOF {
+				t.Errorf("cut=0: got %v, want io.EOF", err)
+			}
+		default:
+			if err != io.ErrUnexpectedEOF {
+				t.Errorf("cut=%d: got %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+	}
+}
+
+func TestFrameOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("write oversize: got %v", err)
+	}
+	// A hostile length prefix must be rejected before allocation.
+	hostile := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hostile), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("read hostile prefix: got %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP node
+// ---------------------------------------------------------------------------
+
+// sinkNode records received messages.
+type sinkNode struct {
+	mu    sync.Mutex
+	recvd []smr.Recv
+}
+
+func (s *sinkNode) Init(env smr.Env) {}
+func (s *sinkNode) Step(ev smr.Event) {
+	if r, ok := ev.(smr.Recv); ok {
+		s.mu.Lock()
+		s.recvd = append(s.recvd, r)
+		s.mu.Unlock()
+	}
+}
+
+func (s *sinkNode) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recvd)
+}
+
+// newPair starts two connected nodes and returns them with a cleanup.
+func newPair(t *testing.T) (a, b *Node, sa, sb *sinkNode) {
+	t.Helper()
+	sa, sb = &sinkNode{}, &sinkNode{}
+	peers := map[smr.NodeID]string{}
+	a, err := NewNode(0, sa, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = NewNode(1, sb, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[0] = a.Addr()
+	peers[1] = b.Addr()
+	go a.Run()
+	go b.Run()
+	t.Cleanup(func() {
+		a.Stop()
+		b.Stop()
+	})
+	return a, b, sa, sb
+}
+
+func testMsg(sn uint64) smr.Message {
+	return &xpaxos.MsgCommit{Order: xpaxos.Order{Kind: xpaxos.KindCommit, SN: smr.SeqNum(sn), Sig: []byte("sig")}}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNodeSendReceive(t *testing.T) {
+	a, _, sa, sb := newPair(t)
+	a.Send(1, testMsg(7))
+	waitFor(t, func() bool { return sb.count() == 1 }, "message at b")
+	sb.mu.Lock()
+	got := sb.recvd[0]
+	sb.mu.Unlock()
+	if got.From != 0 {
+		t.Errorf("From = %d, want 0", got.From)
+	}
+	m, ok := got.Msg.(*xpaxos.MsgCommit)
+	if !ok || m.Order.SN != 7 || string(m.Order.Sig) != "sig" {
+		t.Errorf("message did not round-trip: %#v", got.Msg)
+	}
+	if sa.count() != 0 {
+		t.Errorf("a received %d unexpected messages", sa.count())
+	}
+}
+
+func TestNodeConcurrentSends(t *testing.T) {
+	a, _, _, sb := newPair(t)
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Send(1, testMsg(uint64(g*per+i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// TCP is reliable and all sends share node a's single connection to
+	// b: every frame must arrive intact, in some order.
+	waitFor(t, func() bool { return sb.count() == goroutines*per }, "all concurrent sends")
+	seen := make(map[smr.SeqNum]bool)
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, r := range sb.recvd {
+		m, ok := r.Msg.(*xpaxos.MsgCommit)
+		if !ok {
+			t.Fatalf("unexpected message type %T", r.Msg)
+		}
+		if seen[m.Order.SN] {
+			t.Fatalf("duplicate frame for sn %d", m.Order.SN)
+		}
+		seen[m.Order.SN] = true
+	}
+}
+
+func TestNodeSendToUnknownPeerDrops(t *testing.T) {
+	a, _, _, _ := newPair(t)
+	a.Send(99, testMsg(1)) // no address: must not panic or block
+}
+
+func TestNodeTeardownWithInflight(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	// Blast messages from a background goroutine while tearing both
+	// nodes down; Stop must not deadlock or panic, and Run must return.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				a.Send(1, testMsg(uint64(i)))
+			}
+		}
+	}()
+	waitFor(t, func() bool { return sb.count() > 10 }, "traffic to flow")
+	doneStop := make(chan struct{})
+	go func() {
+		b.Stop()
+		a.Stop()
+		close(doneStop)
+	}()
+	select {
+	case <-doneStop:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked with in-flight messages")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("0=a:1,1=b:2,1000=c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[smr.NodeID]string{0: "a:1", 1: "b:2", 1000: "c:3"}
+	if fmt.Sprint(peers) != fmt.Sprint(want) {
+		t.Errorf("ParsePeers = %v, want %v", peers, want)
+	}
+	if _, err := ParsePeers("bogus"); err == nil {
+		t.Error("ParsePeers accepted malformed input")
+	}
+}

@@ -5,7 +5,10 @@
 // and explicit field order.
 package wire
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // Buf accumulates a deterministic encoding. The zero value is ready to
 // use.
@@ -15,6 +18,26 @@ type Buf struct {
 
 // New returns a Buf with capacity preallocated.
 func New(capacity int) *Buf { return &Buf{b: make([]byte, 0, capacity)} }
+
+// Reset truncates the buffer, keeping its capacity for reuse.
+func (w *Buf) Reset() *Buf {
+	w.b = w.b[:0]
+	return w
+}
+
+// bufPool recycles Bufs for hot-path payload construction. Buffers
+// retain their grown capacity across uses, so steady-state encoding
+// allocates nothing.
+var bufPool = sync.Pool{New: func() any { return New(256) }}
+
+// Get returns a reset Buf from the pool. Pair with Put once the bytes
+// from Done are no longer referenced: the encoding returned by Done
+// aliases the Buf's storage, so it must not be retained past Put.
+func Get() *Buf { return bufPool.Get().(*Buf).Reset() }
+
+// Put returns w to the pool. The caller must not use w, or any slice
+// obtained from its Done, afterwards.
+func Put(w *Buf) { bufPool.Put(w) }
 
 // U8 appends a fixed-width uint8.
 func (w *Buf) U8(v uint8) *Buf {

@@ -215,6 +215,15 @@ func (r *Replica) stabilizeCheckpoint(proof CheckpointProof, snap []byte) {
 			delete(r.pendingCommits, sn)
 		}
 	}
+	// With a pipeline window, several prepares may be buffered ahead of
+	// order when a checkpoint fast-forwards the replica past them; drop
+	// anything at or below the stable point so the buffer cannot pin
+	// dead batches.
+	for sn := range r.pendingEntries {
+		if sn <= proof.SN {
+			delete(r.pendingEntries, sn)
+		}
+	}
 	for sn := range r.pendingSnaps {
 		if sn < proof.SN {
 			delete(r.pendingSnaps, sn)

@@ -48,7 +48,7 @@ func (r *Replica) InjectWipeState() {
 	r.sn, r.ex = 0, 0
 	r.lastExec = make(map[smr.NodeID]uint64)
 	r.replies = make(map[smr.NodeID]cachedReply)
-	r.queued = make(map[smr.NodeID]uint64)
+	r.queued = make(map[smr.NodeID]queuedMark)
 	r.pendingReqs = nil
 }
 

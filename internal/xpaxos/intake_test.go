@@ -1,0 +1,167 @@
+package xpaxos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// stubEnv is a minimal smr.Env for stepping a single replica by hand.
+type stubEnv struct {
+	id   smr.NodeID
+	sent []struct {
+		to  smr.NodeID
+		msg smr.Message
+	}
+	timers map[smr.TimerID]string
+	next   smr.TimerID
+}
+
+func newStubEnv(id smr.NodeID) *stubEnv {
+	return &stubEnv{id: id, timers: make(map[smr.TimerID]string)}
+}
+
+func (e *stubEnv) ID() smr.NodeID     { return e.id }
+func (e *stubEnv) Now() time.Duration { return 0 }
+func (e *stubEnv) Send(to smr.NodeID, m smr.Message) {
+	e.sent = append(e.sent, struct {
+		to  smr.NodeID
+		msg smr.Message
+	}{to, m})
+}
+func (e *stubEnv) SetTimer(d time.Duration, kind string) smr.TimerID {
+	e.next++
+	e.timers[e.next] = kind
+	return e.next
+}
+func (e *stubEnv) CancelTimer(id smr.TimerID) { delete(e.timers, id) }
+
+// lastTimer returns the most recent pending timer of the given kind.
+func (e *stubEnv) lastTimer(kind string) (smr.TimerID, bool) {
+	var best smr.TimerID
+	for id, k := range e.timers {
+		if k == kind && id > best {
+			best = id
+		}
+	}
+	return best, best != 0
+}
+
+func signedReq(s crypto.Suite, client smr.NodeID, ts uint64, op []byte) Request {
+	req := Request{Op: op, TS: ts, Client: client}
+	req.Sig = s.Sign(crypto.NodeID(client), req.SigPayload())
+	return req
+}
+
+// TestForgedRequestCannotSuppressHonest is the regression test for the
+// deferred-intake-verification race: while the pipeline is busy, a
+// forged request (valid client id and timestamp, garbage signature)
+// reaching the primary first must not block the honest client's
+// request from committing in the same batching round.
+func TestForgedRequestCannotSuppressHonest(t *testing.T) {
+	suite := crypto.NewSimSuite(1)
+	cfg := Config{N: 3, T: 1, Suite: suite, BatchSize: 3, PipelineWindow: 8}
+	r := NewReplica(0, cfg, kv.NewStore()) // primary of view 0
+	env := newStubEnv(0)
+	r.Init(env)
+	r.Step(smr.Start{})
+
+	clientA := smr.ClientIDBase
+	clientC := smr.ClientIDBase + 1
+
+	// Prime the pipeline so partial batches are held back: two single
+	// requests from A flush immediately (pipeline hungry) and stay in
+	// flight — no commits are delivered in this test.
+	r.Step(smr.Recv{From: clientA, Msg: &MsgReplicate{Req: signedReq(suite, clientA, 1, kv.PutOp("a1", []byte("v")))}})
+	r.Step(smr.Recv{From: clientA, Msg: &MsgReplicate{Req: signedReq(suite, clientA, 2, kv.PutOp("a2", []byte("v")))}})
+	if got := r.inFlight(); got < 2 {
+		t.Fatalf("pipeline not primed: in-flight = %d", got)
+	}
+
+	// The forgery races ahead of the honest request.
+	forged := signedReq(suite, clientC, 1, kv.PutOp("c", []byte("evil")))
+	forged.Sig = append([]byte(nil), forged.Sig...)
+	forged.Sig[0] ^= 0xff
+	r.Step(smr.Recv{From: clientC, Msg: &MsgReplicate{Req: forged}})
+
+	honest := signedReq(suite, clientC, 1, kv.PutOp("c", []byte("good")))
+	r.Step(smr.Recv{From: clientC, Msg: &MsgReplicate{Req: honest}})
+
+	// Force the held partial batch out through the batch timer.
+	id, ok := env.lastTimer("batch")
+	if !ok {
+		t.Fatal("no batch timer armed while pipeline busy")
+	}
+	r.Step(smr.TimerFired{ID: id, Kind: "batch"})
+
+	// The honest request must have been proposed; the forged one never.
+	var honestProposed, forgedProposed bool
+	for _, s := range env.sent {
+		m, ok := s.msg.(*MsgCommitReq)
+		if !ok {
+			continue
+		}
+		for i := range m.Entry.Batch.Reqs {
+			rq := &m.Entry.Batch.Reqs[i]
+			if rq.Client != clientC {
+				continue
+			}
+			if string(rq.Sig) == string(honest.Sig) {
+				honestProposed = true
+			}
+			if string(rq.Sig) == string(forged.Sig) {
+				forgedProposed = true
+			}
+		}
+	}
+	if !honestProposed {
+		t.Error("honest request was suppressed by the forged copy")
+	}
+	if forgedProposed {
+		t.Error("forged request was proposed to the follower")
+	}
+}
+
+// TestDuplicateRequestDedupedInPipeline checks the queued marker still
+// dedupes identical retransmissions: the same signed request delivered
+// twice while pending must be proposed exactly once.
+func TestDuplicateRequestDedupedInPipeline(t *testing.T) {
+	suite := crypto.NewSimSuite(1)
+	cfg := Config{N: 3, T: 1, Suite: suite, BatchSize: 3, PipelineWindow: 8}
+	r := NewReplica(0, cfg, kv.NewStore())
+	env := newStubEnv(0)
+	r.Init(env)
+	r.Step(smr.Start{})
+
+	clientA := smr.ClientIDBase
+	clientC := smr.ClientIDBase + 1
+	r.Step(smr.Recv{From: clientA, Msg: &MsgReplicate{Req: signedReq(suite, clientA, 1, kv.PutOp("a1", []byte("v")))}})
+	r.Step(smr.Recv{From: clientA, Msg: &MsgReplicate{Req: signedReq(suite, clientA, 2, kv.PutOp("a2", []byte("v")))}})
+
+	req := signedReq(suite, clientC, 1, kv.PutOp("c", []byte("v")))
+	r.Step(smr.Recv{From: clientC, Msg: &MsgReplicate{Req: req}})
+	r.Step(smr.Recv{From: clientC, Msg: &MsgReplicate{Req: req}}) // retransmission
+
+	id, ok := env.lastTimer("batch")
+	if !ok {
+		t.Fatal("no batch timer armed")
+	}
+	r.Step(smr.TimerFired{ID: id, Kind: "batch"})
+
+	proposals := 0
+	for _, s := range env.sent {
+		if m, ok := s.msg.(*MsgCommitReq); ok {
+			for i := range m.Entry.Batch.Reqs {
+				if m.Entry.Batch.Reqs[i].Client == clientC {
+					proposals++
+				}
+			}
+		}
+	}
+	if proposals != 1 {
+		t.Errorf("client request proposed %d times, want exactly 1", proposals)
+	}
+}

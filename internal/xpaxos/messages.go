@@ -24,13 +24,22 @@ type Request struct {
 
 // SigPayload returns the bytes the client signs.
 func (r *Request) SigPayload() []byte {
-	return wire.New(len(r.Op) + 32).Str("xp-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client)).Done()
+	return r.appendSigPayload(wire.New(len(r.Op) + 32))
+}
+
+// appendSigPayload writes the signed bytes into w, letting hot paths
+// reuse a pooled buffer instead of allocating per verification.
+func (r *Request) appendSigPayload(w *wire.Buf) []byte {
+	return w.Str("xp-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client)).Done()
 }
 
 // Digest returns the request digest D(req) (covers the signature so a
 // request is bound to its authentication).
 func (r *Request) Digest() crypto.Digest {
-	return crypto.HashParts([]byte("xp-reqd"), r.SigPayload(), r.Sig)
+	w := wire.Get()
+	d := crypto.HashParts([]byte("xp-reqd"), r.appendSigPayload(w), r.Sig)
+	wire.Put(w)
+	return d
 }
 
 // wireSize is the request's modeled on-the-wire contribution.
@@ -115,7 +124,12 @@ type Order struct {
 
 // SigPayload returns the signed bytes.
 func (o *Order) SigPayload() []byte {
-	return wire.New(96).Str("xp-order").U8(uint8(o.Kind)).Raw(o.BatchD[:]).
+	return o.appendSigPayload(wire.New(96))
+}
+
+// appendSigPayload writes the signed bytes into w.
+func (o *Order) appendSigPayload(w *wire.Buf) []byte {
+	return w.Str("xp-order").U8(uint8(o.Kind)).Raw(o.BatchD[:]).
 		U64(uint64(o.SN)).U64(uint64(o.View)).I64(int64(o.From)).Raw(o.RepRoot[:]).Done()
 }
 
@@ -124,13 +138,18 @@ func (o *Order) wireSize() int { return 1 + 32 + 8 + 8 + 8 + 32 + len(o.Sig) }
 // signOrder builds and signs an order record.
 func signOrder(suite crypto.Suite, kind OrderKind, d crypto.Digest, sn smr.SeqNum, v smr.View, from smr.NodeID, repRoot crypto.Digest) Order {
 	o := Order{Kind: kind, BatchD: d, SN: sn, View: v, From: from, RepRoot: repRoot}
-	o.Sig = suite.Sign(crypto.NodeID(from), o.SigPayload())
+	w := wire.Get()
+	o.Sig = suite.Sign(crypto.NodeID(from), o.appendSigPayload(w))
+	wire.Put(w)
 	return o
 }
 
 // verifyOrder checks an order's signature.
 func verifyOrder(suite crypto.Suite, o *Order) bool {
-	return suite.Verify(crypto.NodeID(o.From), o.SigPayload(), o.Sig)
+	w := wire.Get()
+	ok := suite.Verify(crypto.NodeID(o.From), o.appendSigPayload(w), o.Sig)
+	wire.Put(w)
+	return ok
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@ import (
 
 	"github.com/xft-consensus/xft/internal/crypto"
 	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
 )
 
 // status is the replica's operating mode.
@@ -71,15 +72,22 @@ type Replica struct {
 	// (possible immediately after a view change).
 	pendingEntries map[smr.SeqNum]*PrepareEntry
 
-	// Batching (primary only).
+	// Batching and pipelining (primary only). maxInFlight records the
+	// high-water mark of assigned-but-unexecuted sequence numbers, for
+	// tests and stats.
 	pendingReqs   []Request
 	batchTimer    smr.TimerID
 	batchTimerSet bool
+	maxInFlight   int
+
+	// verifyPool scatters independent signature verifications (batch
+	// requests, certificates) across workers; nil verifies serially.
+	verifyPool *crypto.Pool
 
 	// Client bookkeeping: at-most-once execution and reply cache.
 	lastExec map[smr.NodeID]uint64
 	replies  map[smr.NodeID]cachedReply
-	queued   map[smr.NodeID]uint64 // client -> ts queued in pendingReqs
+	queued   map[smr.NodeID]queuedMark // client -> request queued in pendingReqs
 
 	// Retransmission watches (Algorithm 4).
 	watches     map[watchKey]*watchState
@@ -105,6 +113,16 @@ type Replica struct {
 	agreedVCSet map[smr.View]map[vcKey]*MsgViewChange
 	fset        map[smr.NodeID]bool
 	convicted   map[faultID]bool
+}
+
+// queuedMark dedupes pipelined requests per client. It remembers the
+// signature digest because intake verification is deferred to batch
+// formation: a forged copy may reach the queue first, and the mark
+// alone must not let it suppress the honest client's request (see
+// onRequest).
+type queuedMark struct {
+	TS   uint64
+	SigD crypto.Digest
 }
 
 type suspectKey struct {
@@ -135,7 +153,7 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		pendingEntries: make(map[smr.SeqNum]*PrepareEntry),
 		lastExec:       make(map[smr.NodeID]uint64),
 		replies:        make(map[smr.NodeID]cachedReply),
-		queued:         make(map[smr.NodeID]uint64),
+		queued:         make(map[smr.NodeID]queuedMark),
 		watches:        make(map[watchKey]*watchState),
 		watchTimers:    make(map[smr.TimerID]watchKey),
 		prechkVotes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
@@ -148,6 +166,14 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		agreedVCSet:    make(map[smr.View]map[vcKey]*MsgViewChange),
 		fset:           make(map[smr.NodeID]bool),
 		convicted:      make(map[faultID]bool),
+	}
+	switch {
+	case cfg.VerifyWorkers == 1:
+		r.verifyPool = nil // serial verification in the event loop
+	case cfg.VerifyWorkers > 1:
+		r.verifyPool = crypto.NewPool(cfg.VerifyWorkers)
+	default:
+		r.verifyPool = crypto.SharedPool()
 	}
 	r.group = SyncGroup(r.n, r.t, 0)
 	return r
@@ -309,12 +335,14 @@ func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
 	if !r.isActive() {
 		return
 	}
-	if !r.verifyRequest(&req) {
-		return
-	}
+	// Client-signature verification is deferred to batch formation,
+	// where the whole batch's signatures scatter across the
+	// verification pool in one call instead of costing the event loop
+	// one serial public-key operation per arrival. Paths that act on a
+	// request immediately still verify inline.
 	// At-most-once: an old or duplicate request gets the cached reply.
 	if last := r.lastExec[req.Client]; req.TS <= last {
-		if c, ok := r.replies[req.Client]; ok && c.TS == req.TS && r.isPrimary() {
+		if c, ok := r.replies[req.Client]; ok && c.TS == req.TS && r.isPrimary() && r.verifyRequest(&req) {
 			r.sendReply(req.Client, &req, c)
 		}
 		return
@@ -325,49 +353,171 @@ func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
 		}
 		return
 	}
-	if r.queued[req.Client] == req.TS {
-		return // already in the pipeline
+	mark := queuedMark{TS: req.TS, SigD: crypto.Hash(req.Sig)}
+	if q, ok := r.queued[req.Client]; ok && q.TS == req.TS {
+		if q.SigD == mark.SigD {
+			return // identical copy already in the pipeline
+		}
+		// A different copy for the same (client, ts): the queued one is
+		// unverified, so it could be a forgery racing the honest
+		// request. Verify this copy inline — if it is genuine, queue it
+		// too (batch formation discards the bad one); if not, ignore it
+		// without letting it displace anything.
+		if !r.verifyRequest(&req) {
+			return
+		}
 	}
-	r.queued[req.Client] = req.TS
+	r.queued[req.Client] = mark
 	r.pendingReqs = append(r.pendingReqs, req)
-	if len(r.pendingReqs) >= r.cfg.BatchSize {
-		r.flushBatches(false)
-	} else if !r.batchTimerSet {
-		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
-		r.batchTimerSet = true
-	}
+	r.flushBatches(false)
 }
 
 func (r *Replica) verifyRequest(req *Request) bool {
-	return r.suite.Verify(crypto.NodeID(req.Client), req.SigPayload(), req.Sig)
+	w := wire.Get()
+	ok := r.suite.Verify(crypto.NodeID(req.Client), req.appendSigPayload(w), req.Sig)
+	wire.Put(w)
+	return ok
 }
 
-// flushBatches forms batches from pending requests. With force it also
-// flushes a partial batch (batch-timeout path).
+// inFlight returns the number of sequence numbers the replica has
+// assigned but not yet executed — the occupied pipeline slots at the
+// primary.
+func (r *Replica) inFlight() int {
+	if r.sn <= r.ex {
+		return 0
+	}
+	return int(r.sn - r.ex)
+}
+
+// MaxInFlight returns the high-water mark of concurrently in-flight
+// sequence numbers (exported for tests and stats).
+func (r *Replica) MaxInFlight() int { return r.maxInFlight }
+
+// pipelineKeepBusy is the in-flight depth below which a partial batch
+// ships immediately: with the primary and follower stages overlapped,
+// two outstanding batches keep both busy, so holding a partial back to
+// fill it would idle a stage. At or above this depth, partial batches
+// wait for more requests (amortizing per-batch signatures) until the
+// batch timer bounds the delay.
+const pipelineKeepBusy = 2
+
+// flushBatches drains pending requests into sequence-numbered
+// proposals, keeping at most PipelineWindow batches in flight.
+// Batch formation is adaptive: a full batch is proposed whenever the
+// window has room; a partial batch is proposed immediately while the
+// pipeline is hungry (fewer than pipelineKeepBusy batches in flight),
+// and otherwise waits to fill until the batch timer forces it out
+// (force=true). Under load, backpressure grows batches naturally:
+// requests accumulate while the window is busy and drain into one
+// proposal when a slot frees.
 func (r *Replica) flushBatches(force bool) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	for len(r.pendingReqs) >= r.cfg.BatchSize || (force && len(r.pendingReqs) > 0) {
+	for len(r.pendingReqs) > 0 && r.inFlight() < r.cfg.PipelineWindow {
+		if len(r.pendingReqs) < r.cfg.BatchSize && !force && r.inFlight() >= pipelineKeepBusy {
+			break // partial batch and both stages are busy: let it fill
+		}
 		nreq := len(r.pendingReqs)
 		if nreq > r.cfg.BatchSize {
 			nreq = r.cfg.BatchSize
 		}
-		batch := Batch{Reqs: append([]Request(nil), r.pendingReqs[:nreq]...)}
+		reqs := r.verifyIntake(r.pendingReqs[:nreq])
 		r.pendingReqs = r.pendingReqs[nreq:]
-		r.assignBatch(batch)
+		if len(reqs) == 0 {
+			continue // nothing valid survived; try the next slice
+		}
+		r.assignBatch(Batch{Reqs: reqs})
 		force = false
 	}
+	// Anything left waits for more requests, a commit that frees a
+	// window slot, or the batch timer.
 	if len(r.pendingReqs) > 0 && !r.batchTimerSet {
 		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
 		r.batchTimerSet = true
 	}
 }
 
+// sigBatch accumulates independent signature checks whose payloads
+// live in pooled wire buffers; the verify methods release every buffer
+// after the verdict, keeping the Get/Put pairing in one place.
+type sigBatch struct {
+	jobs []crypto.VerifyJob
+	bufs []*wire.Buf
+}
+
+func newSigBatch(capacity int) sigBatch {
+	return sigBatch{
+		jobs: make([]crypto.VerifyJob, 0, capacity),
+		bufs: make([]*wire.Buf, 0, capacity),
+	}
+}
+
+// add appends one check; payload writes the signed bytes into the
+// pooled buffer it is handed (e.g. Request.appendSigPayload).
+func (b *sigBatch) add(id crypto.NodeID, sig crypto.Signature, payload func(*wire.Buf) []byte) {
+	w := wire.Get()
+	b.bufs = append(b.bufs, w)
+	b.jobs = append(b.jobs, crypto.VerifyJob{ID: id, Data: payload(w), Sig: sig})
+}
+
+func (b *sigBatch) release() {
+	for _, w := range b.bufs {
+		wire.Put(w)
+	}
+	b.bufs = b.bufs[:0]
+}
+
+// verifyAll scatters the checks across pool and reports whether every
+// one passed.
+func (b *sigBatch) verifyAll(pool *crypto.Pool, suite crypto.Suite) bool {
+	ok := pool.VerifyAll(suite, b.jobs)
+	b.release()
+	return ok
+}
+
+// verifyEach scatters the checks across pool and reports each verdict.
+func (b *sigBatch) verifyEach(pool *crypto.Pool, suite crypto.Suite) []bool {
+	out := pool.VerifyEach(suite, b.jobs)
+	b.release()
+	return out
+}
+
+// verifyIntake checks the candidate requests' client signatures —
+// deferred from arrival so the whole batch verifies in one parallel
+// scatter — and returns the valid ones (copied out of the pending
+// queue's backing array). An invalid request is dropped and its queued
+// marker cleared, so a later valid retransmission from the same client
+// is not mistaken for a duplicate.
+func (r *Replica) verifyIntake(cand []Request) []Request {
+	b := newSigBatch(len(cand))
+	for i := range cand {
+		b.add(crypto.NodeID(cand[i].Client), cand[i].Sig, cand[i].appendSigPayload)
+	}
+	verdicts := b.verifyEach(r.verifyPool, r.suite)
+	out := make([]Request, 0, len(cand))
+	for i, ok := range verdicts {
+		if !ok {
+			// Clear the marker only if it is this copy's: a valid copy
+			// queued alongside keeps its own mark.
+			mark := queuedMark{TS: cand[i].TS, SigD: crypto.Hash(cand[i].Sig)}
+			if r.queued[cand[i].Client] == mark {
+				delete(r.queued, cand[i].Client)
+			}
+			continue
+		}
+		out = append(out, cand[i])
+	}
+	return out
+}
+
 // assignBatch gives the batch the next sequence number and starts the
 // common-case protocol (Section 4.2).
 func (r *Replica) assignBatch(batch Batch) {
 	r.sn++
+	if f := r.inFlight(); f > r.maxInFlight {
+		r.maxInFlight = f
+	}
 	sn := r.sn
 	d := batch.Digest()
 	if r.t == 1 {
@@ -555,7 +705,7 @@ func (r *Replica) tryExecute() {
 	for {
 		entry, ok := r.commitLog[r.ex+1]
 		if !ok {
-			return
+			break
 		}
 		sn := r.ex + 1
 		tss, reps := r.applyBatch(&entry.Batch, sn, entry.View())
@@ -599,6 +749,9 @@ func (r *Replica) tryExecute() {
 			}
 		}
 	}
+	// Execution advanced, freeing pipeline slots: the primary drains the
+	// pending queue into the next proposals.
+	r.flushBatches(false)
 }
 
 // applyBatch executes the batch's requests in order with at-most-once
@@ -708,7 +861,8 @@ func (r *Replica) notifyCommit(e *CommitEntry) {
 // ---------------------------------------------------------------------------
 
 // verifyPrepareEntry checks the primary's signature, digest binding
-// and the client signatures of the batch.
+// and the client signatures of the batch. The signatures are
+// independent, so they scatter across the verification pool.
 func (r *Replica) verifyPrepareEntry(e *PrepareEntry) bool {
 	wantKind := KindPrepare
 	if r.t == 1 {
@@ -723,15 +877,13 @@ func (r *Replica) verifyPrepareEntry(e *PrepareEntry) bool {
 	if e.Batch.Digest() != e.Primary.BatchD {
 		return false
 	}
-	if !verifyOrder(r.suite, &e.Primary) {
-		return false
-	}
+	b := newSigBatch(len(e.Batch.Reqs) + 1)
+	b.add(crypto.NodeID(e.Primary.From), e.Primary.Sig, e.Primary.appendSigPayload)
 	for i := range e.Batch.Reqs {
-		if !r.verifyRequest(&e.Batch.Reqs[i]) {
-			return false
-		}
+		req := &e.Batch.Reqs[i]
+		b.add(crypto.NodeID(req.Client), req.Sig, req.appendSigPayload)
 	}
-	return true
+	return b.verifyAll(r.verifyPool, r.suite)
 }
 
 // verifyCommitEntry validates a full commit certificate: the primary's
@@ -749,9 +901,6 @@ func (r *Replica) verifyCommitEntry(e *CommitEntry) bool {
 	if e.Batch.Digest() != e.Primary.BatchD {
 		return false
 	}
-	if !verifyOrder(r.suite, &e.Primary) {
-		return false
-	}
 	if len(e.Commits) != r.t {
 		return false
 	}
@@ -765,11 +914,15 @@ func (r *Replica) verifyCommitEntry(e *CommitEntry) bool {
 			return false
 		}
 		seen[o.From] = true
-		if !verifyOrder(r.suite, o) {
-			return false
-		}
 	}
-	return true
+	// Structure is sound; check the t+1 signatures concurrently.
+	b := newSigBatch(r.t + 1)
+	b.add(crypto.NodeID(e.Primary.From), e.Primary.Sig, e.Primary.appendSigPayload)
+	for i := range e.Commits {
+		o := &e.Commits[i]
+		b.add(crypto.NodeID(o.From), o.Sig, o.appendSigPayload)
+	}
+	return b.verifyAll(r.verifyPool, r.suite)
 }
 
 // ---------------------------------------------------------------------------

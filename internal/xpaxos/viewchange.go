@@ -111,9 +111,10 @@ func (r *Replica) enterView(nv smr.View) {
 	// forever.
 	r.pendingEntries = make(map[smr.SeqNum]*PrepareEntry)
 	r.pendingCommits = make(map[smr.SeqNum]map[smr.NodeID]Order)
-	r.queued = make(map[smr.NodeID]uint64, len(r.pendingReqs))
+	r.queued = make(map[smr.NodeID]queuedMark, len(r.pendingReqs))
 	for i := range r.pendingReqs {
-		r.queued[r.pendingReqs[i].Client] = r.pendingReqs[i].TS
+		req := &r.pendingReqs[i]
+		r.queued[req.Client] = queuedMark{TS: req.TS, SigD: crypto.Hash(req.Sig)}
 	}
 	if r.batchTimerSet {
 		r.env.CancelTimer(r.batchTimer)

@@ -51,6 +51,19 @@ type Config struct {
 	BatchSize int
 	// BatchTimeout bounds how long the primary waits to fill a batch.
 	BatchTimeout time.Duration
+	// PipelineWindow is the maximum number of sequence numbers the
+	// primary keeps in flight (assigned but not yet executed) at once.
+	// 1 yields the classic lock-step common case: one batch must commit
+	// before the next is proposed. Larger windows let the primary
+	// stream batches so its own crypto/work overlaps the followers'.
+	// Default 32.
+	PipelineWindow int
+	// VerifyWorkers sizes the parallel signature-verification pool used
+	// for batch and certificate checks: 0 selects the process-wide
+	// shared pool (GOMAXPROCS workers), 1 verifies serially in the
+	// event loop, and n > 1 gives this replica a dedicated n-worker
+	// pool (which lives for the life of the process).
+	VerifyWorkers int
 	// RequestTimeout is the client's retransmission timer and the
 	// active replicas' per-request progress timer (Algorithm 4).
 	RequestTimeout time.Duration
@@ -95,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchTimeout == 0 {
 		c.BatchTimeout = 5 * time.Millisecond
+	}
+	if c.PipelineWindow == 0 {
+		c.PipelineWindow = 32
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 4 * c.Delta

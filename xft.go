@@ -17,6 +17,14 @@
 //	client := cluster.NewClient()
 //	reply, err := client.Invoke(kv.PutOp("greeting", []byte("hello")))
 //
+// The common case is pipelined and batched: the primary keeps up to
+// Options.PipelineWindow batches in flight concurrently (batch
+// formation adapts to load — partial batches ship immediately when the
+// pipeline is idle, and fill while it is busy), and signature
+// verification of independent messages is scattered across a worker
+// pool sized by Options.VerifyWorkers. Set PipelineWindow to 1 for the
+// classic lock-step behavior.
+//
 // The same protocol code also runs under the deterministic WAN
 // simulator used by the test-suite and the paper-reproduction
 // experiments; see internal/bench and cmd/xft-bench.
@@ -55,6 +63,14 @@ type Options struct {
 	// BatchSize is the request batch size (default 20, as in the
 	// paper).
 	BatchSize int
+	// PipelineWindow is how many batches the primary may keep in
+	// flight at once (default 32). 1 reproduces the lock-step common
+	// case: each batch must commit before the next is proposed.
+	PipelineWindow int
+	// VerifyWorkers sizes the parallel signature-verification pool:
+	// 0 shares a process-wide GOMAXPROCS pool, 1 verifies serially,
+	// n > 1 dedicates n workers per replica.
+	VerifyWorkers int
 	// EnableFD turns on the fault-detection mechanism (Section 4.4).
 	EnableFD bool
 	// Seed makes the cluster's keys deterministic (default 1).
@@ -102,6 +118,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 			Suite:              crypto.NewMeter(c.suite),
 			Delta:              opts.Delta,
 			BatchSize:          opts.BatchSize,
+			PipelineWindow:     opts.PipelineWindow,
+			VerifyWorkers:      opts.VerifyWorkers,
 			CheckpointInterval: 256,
 			EnableFD:           opts.EnableFD,
 		}
