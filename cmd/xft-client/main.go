@@ -38,7 +38,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	transport.RegisterXPaxosMessages()
 	n := 2**t + 1
 	suite := crypto.NewEd25519Suite(n+1024, *seed)
 
@@ -106,6 +105,9 @@ func main() {
 		fmt.Printf("%d writes in %v (%.1f ops/s, %.1f ms/op)\n",
 			count, el.Round(time.Millisecond), float64(count)/el.Seconds(),
 			el.Seconds()*1000/float64(count))
+		for id, st := range node.Stats() {
+			fmt.Printf("peer %d: queued=%d dropped=%d\n", id, st.Queued, st.Drops)
+		}
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}

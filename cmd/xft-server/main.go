@@ -40,7 +40,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	transport.RegisterXPaxosMessages()
 
 	n := 2**t + 1
 	suite := crypto.NewEd25519Suite(n+1024, *seed)

@@ -33,12 +33,9 @@ type liveNode struct {
 	inbox chan Event
 	stop  chan struct{}
 
-	// Timer state is owned by the node goroutine except nextID, which
-	// Step (same goroutine) increments; cancelled is read by the
-	// goroutine when a TimerFired arrives.
-	nextID    TimerID
-	cancelled map[TimerID]bool
-	pending   map[TimerID]*time.Timer
+	// timers is owned by the node goroutine: Set/Cancel run from Step,
+	// Deliver from the run loop.
+	timers *TimerSet
 }
 
 // AddNode registers a node. Nodes added after Start are initialized
@@ -52,10 +49,9 @@ func (rt *LiveRuntime) AddNode(id NodeID, node Node) {
 	}
 	ln := &liveNode{
 		rt: rt, id: id, node: node,
-		inbox:     make(chan Event, inboxSize),
-		stop:      make(chan struct{}),
-		cancelled: make(map[TimerID]bool),
-		pending:   make(map[TimerID]*time.Timer),
+		inbox:  make(chan Event, inboxSize),
+		stop:   make(chan struct{}),
+		timers: NewTimerSet(),
 	}
 	rt.nodes[id] = ln
 	if rt.started {
@@ -115,12 +111,8 @@ func (ln *liveNode) run(wg *sync.WaitGroup) {
 		case <-ln.stop:
 			return
 		case ev := <-ln.inbox:
-			if tf, ok := ev.(TimerFired); ok {
-				if ln.cancelled[tf.ID] {
-					delete(ln.cancelled, tf.ID)
-					continue
-				}
-				delete(ln.pending, tf.ID)
+			if tf, ok := ev.(TimerFired); ok && !ln.timers.Deliver(tf) {
+				continue
 			}
 			ln.node.Step(ev)
 		}
@@ -147,30 +139,20 @@ func (ln *liveNode) Send(to NodeID, m Message) {
 	}
 }
 
-// SetTimer implements Env.
+// SetTimer implements Env. Unlike messages, TimerFired events are
+// never dropped on a full inbox: the firing goroutine waits for space
+// (or shutdown). Dropping would strand the timer's bookkeeping
+// forever, since only delivery clears it.
 func (ln *liveNode) SetTimer(d time.Duration, kind string) TimerID {
-	ln.nextID++
-	id := ln.nextID
-	t := time.AfterFunc(d, func() {
+	return ln.timers.Set(d, kind, func(tf TimerFired) {
 		select {
-		case ln.inbox <- TimerFired{ID: id, Kind: kind}:
-		default:
+		case ln.inbox <- tf:
+		case <-ln.stop:
 		}
 	})
-	ln.pending[id] = t
-	return id
 }
 
 // CancelTimer implements Env.
-func (ln *liveNode) CancelTimer(id TimerID) {
-	if t, ok := ln.pending[id]; ok {
-		if t.Stop() {
-			delete(ln.pending, id)
-			return
-		}
-	}
-	// Already fired (or firing): filter it on arrival.
-	ln.cancelled[id] = true
-}
+func (ln *liveNode) CancelTimer(id TimerID) { ln.timers.Cancel(id) }
 
 var _ Env = (*liveNode)(nil)

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// sendQueue is the bounded per-peer outbox feeding a connection's
+// writer goroutine. When the queue is full the oldest queued message is
+// dropped and counted — backpressure against slow or down peers without
+// either blocking the replica event loop or losing messages silently.
+// The protocols tolerate loss by design; what matters is that loss is
+// bounded, biased toward stale messages, and observable.
+type sendQueue struct {
+	mu    sync.Mutex
+	buf   []smr.Message // ring buffer
+	head  int
+	count int
+	drops uint64
+
+	// notify wakes the writer when the queue transitions towards
+	// non-empty; capacity 1 coalesces bursts.
+	notify chan struct{}
+}
+
+func newSendQueue(capacity int) *sendQueue {
+	return &sendQueue{
+		buf:    make([]smr.Message, capacity),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// push enqueues m, evicting the oldest queued message if the queue is
+// full. It never blocks.
+func (q *sendQueue) push(m smr.Message) {
+	q.mu.Lock()
+	if q.count == len(q.buf) {
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % len(q.buf)
+		q.count--
+		q.drops++
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = m
+	q.count++
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues the oldest message, reporting false on an empty queue.
+func (q *sendQueue) pop() (smr.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return nil, false
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return m, true
+}
+
+// empty reports whether the queue currently holds no messages.
+func (q *sendQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count == 0
+}
+
+// countDrops records n messages lost outside the queue itself (e.g.
+// frames stranded in the write buffer when the connection fails),
+// keeping the drop counter an honest total.
+func (q *sendQueue) countDrops(n uint64) {
+	q.mu.Lock()
+	q.drops += n
+	q.mu.Unlock()
+}
+
+// stats returns the current depth and the cumulative drop count.
+func (q *sendQueue) stats() (depth int, drops uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count, q.drops
+}

@@ -1,53 +1,68 @@
 // Package transport runs a single protocol node over real TCP — the
 // deployment mode behind cmd/xft-server and cmd/xft-client. Messages
-// travel as length-prefixed frames (frame.go) carrying a gob-encoded
-// envelope, so partial reads and oversized inputs fail cleanly. Peers
-// are dialed lazily and redialed on failure; messages to unreachable
-// peers are dropped, which the protocols tolerate by design.
+// travel as length-prefixed frames (frame.go) whose payload is a fixed
+// header (sender id) followed by the XPaxos wire codec's tag+body
+// encoding (internal/xpaxos/codec.go) — no gob, no type descriptors,
+// no reflection on the hot path.
+//
+// Each peer has a dedicated writer goroutine fed by a bounded
+// drop-oldest send queue (sendq.go): Send never dials and never blocks,
+// so a down or slow peer cannot stall the replica event loop. Dialing,
+// redialing with backoff, and write-side buffering all live in the
+// writer. Drops are counted per peer and surfaced via PeerStats.
 package transport
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/gob"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
 	"github.com/xft-consensus/xft/internal/xpaxos"
 )
 
-// envelope frames a message on the wire.
-type envelope struct {
-	From smr.NodeID
-	Msg  smr.Message
+// Tunables (overridable per node via Options).
+const (
+	// DefaultSendQueueCap bounds each peer's send queue, in messages.
+	DefaultSendQueueCap = 1024
+	// DefaultDialTimeout bounds one dial attempt to a peer.
+	DefaultDialTimeout = 2 * time.Second
+
+	// Redial backoff bounds: after a failed dial the writer waits
+	// dialBackoffMin, doubling up to dialBackoffMax, before retrying.
+	dialBackoffMin = 50 * time.Millisecond
+	dialBackoffMax = 1 * time.Second
+
+	// writeBufSize is the per-connection write buffer; the writer
+	// flushes whenever its queue drains, so buffering only coalesces
+	// back-to-back frames and never delays a lone message.
+	writeBufSize = 64 << 10
+)
+
+// Option customizes a Node.
+type Option func(*Node)
+
+// WithSendQueueCap sets the per-peer send queue capacity in messages.
+func WithSendQueueCap(n int) Option {
+	return func(nd *Node) {
+		if n > 0 {
+			nd.queueCap = n
+		}
+	}
 }
 
-// RegisterXPaxosMessages registers every XPaxos message type with gob.
-// Call once per process before Serve/Dial.
-func RegisterXPaxosMessages() {
-	gob.Register(&xpaxos.MsgReplicate{})
-	gob.Register(&xpaxos.MsgResend{})
-	gob.Register(&xpaxos.MsgPrepare{})
-	gob.Register(&xpaxos.MsgCommitReq{})
-	gob.Register(&xpaxos.MsgCommit{})
-	gob.Register(&xpaxos.MsgReply{})
-	gob.Register(&xpaxos.MsgReplyDigest{})
-	gob.Register(&xpaxos.MsgReplySign{})
-	gob.Register(&xpaxos.MsgSignedReply{})
-	gob.Register(&xpaxos.MsgSuspect{})
-	gob.Register(&xpaxos.MsgViewChange{})
-	gob.Register(&xpaxos.MsgVCFinal{})
-	gob.Register(&xpaxos.MsgVCConfirm{})
-	gob.Register(&xpaxos.MsgNewView{})
-	gob.Register(&xpaxos.MsgPrechk{})
-	gob.Register(&xpaxos.MsgChkpt{})
-	gob.Register(&xpaxos.MsgLazyChk{})
-	gob.Register(&xpaxos.MsgLazyCommit{})
-	gob.Register(&xpaxos.MsgFaultProof{})
-	gob.Register(&xpaxos.MsgForkIIQuery{})
+// WithDialTimeout sets the per-attempt dial timeout.
+func WithDialTimeout(d time.Duration) Option {
+	return func(nd *Node) {
+		if d > 0 {
+			nd.dialTimeout = d
+		}
+	}
 }
 
 // Node hosts one protocol node on a TCP endpoint.
@@ -56,47 +71,105 @@ type Node struct {
 	node  smr.Node
 	peers map[smr.NodeID]string
 
-	inbox    chan smr.Event
-	stop     chan struct{}
+	inbox  chan smr.Event
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stopOnce sync.Once
 	ln       net.Listener
 	start    time.Time
 
-	mu    sync.Mutex
-	conns map[smr.NodeID]*peerConn
+	queueCap    int
+	dialTimeout time.Duration
 
-	nextTimer smr.TimerID
-	cancelled map[smr.TimerID]bool
-	pending   map[smr.TimerID]*time.Timer
-	wg        sync.WaitGroup
+	mu      sync.Mutex
+	stopped bool
+	conns   map[smr.NodeID]*peerConn
+	inbound map[net.Conn]struct{}
+
+	// timers is owned by the node goroutine: Set/Cancel run from Step,
+	// Deliver from the Run loop.
+	timers *smr.TimerSet
+
+	wg sync.WaitGroup
 }
 
-// peerConn is one outbound connection. Each frame carries a
-// self-contained gob stream (encoder state does not span frames), so a
-// receiver can resynchronize at any frame boundary; buf is reused
-// across sends under mu.
+// peerConn is one peer's outbound path: a bounded queue drained by a
+// writer goroutine. The connection itself is owned by the writer; the
+// mutex only guards the handle so Stop (and write-error recovery) can
+// close it from outside.
 type peerConn struct {
-	mu  sync.Mutex
-	buf bytes.Buffer
-	c   net.Conn
+	addr string
+	q    *sendQueue
+
+	mu   sync.Mutex
+	c    net.Conn
+	shut bool
+}
+
+// setConn publishes a freshly dialed connection. If shutdown already
+// ran — a dial completing concurrently with Stop would otherwise
+// publish a connection nobody closes, and a writer stuck in WriteFrame
+// on it would hang Stop — the connection is closed instead and the
+// writer must exit.
+func (pc *peerConn) setConn(c net.Conn) bool {
+	pc.mu.Lock()
+	if pc.shut {
+		pc.mu.Unlock()
+		c.Close()
+		return false
+	}
+	pc.c = c
+	pc.mu.Unlock()
+	return true
+}
+
+// closeConn drops the current connection (write-error recovery); the
+// writer will redial.
+func (pc *peerConn) closeConn() {
+	pc.mu.Lock()
+	if pc.c != nil {
+		pc.c.Close()
+		pc.c = nil
+	}
+	pc.mu.Unlock()
+}
+
+// shutdown closes the current connection and latches the peer closed.
+func (pc *peerConn) shutdown() {
+	pc.mu.Lock()
+	pc.shut = true
+	if pc.c != nil {
+		pc.c.Close()
+		pc.c = nil
+	}
+	pc.mu.Unlock()
 }
 
 // NewNode prepares a node bound to listenAddr; peers maps every node
 // id (replicas and clients) to its address.
-func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.NodeID]string) (*Node, error) {
+func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.NodeID]string, opts ...Option) (*Node, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
-	return &Node{
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
 		id: id, node: node, peers: peers, ln: ln,
-		inbox:     make(chan smr.Event, 4096),
-		stop:      make(chan struct{}),
-		conns:     make(map[smr.NodeID]*peerConn),
-		cancelled: make(map[smr.TimerID]bool),
-		pending:   make(map[smr.TimerID]*time.Timer),
-		start:     time.Now(),
-	}, nil
+		inbox:       make(chan smr.Event, 4096),
+		ctx:         ctx,
+		cancel:      cancel,
+		queueCap:    DefaultSendQueueCap,
+		dialTimeout: DefaultDialTimeout,
+		conns:       make(map[smr.NodeID]*peerConn),
+		inbound:     make(map[net.Conn]struct{}),
+		timers:      smr.NewTimerSet(),
+		start:       time.Now(),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n, nil
 }
 
 // Addr returns the bound listen address.
@@ -111,16 +184,12 @@ func (n *Node) Run() {
 	n.node.Step(smr.Start{})
 	for {
 		select {
-		case <-n.stop:
+		case <-n.ctx.Done():
 			n.wg.Wait()
 			return
 		case ev := <-n.inbox:
-			if tf, ok := ev.(smr.TimerFired); ok {
-				if n.cancelled[tf.ID] {
-					delete(n.cancelled, tf.ID)
-					continue
-				}
-				delete(n.pending, tf.ID)
+			if tf, ok := ev.(smr.TimerFired); ok && !n.timers.Deliver(tf) {
+				continue
 			}
 			n.node.Step(ev)
 		}
@@ -131,23 +200,55 @@ func (n *Node) Run() {
 func (n *Node) Submit(ev smr.Event) {
 	select {
 	case n.inbox <- ev:
-	case <-n.stop:
+	case <-n.ctx.Done():
 	}
 }
 
-// Stop terminates the node. It is idempotent: redundant calls (e.g. a
+// Stop terminates the node: the listener, every inbound connection,
+// and every peer writer. It is idempotent: redundant calls (e.g. a
 // deferred Stop racing an explicit one) are no-ops.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
-		close(n.stop)
+		n.mu.Lock()
+		n.stopped = true
+		n.mu.Unlock()
+		n.cancel()
 		n.ln.Close()
 		n.mu.Lock()
 		for _, pc := range n.conns {
-			pc.c.Close()
+			pc.shutdown()
+		}
+		for c := range n.inbound {
+			c.Close()
 		}
 		n.mu.Unlock()
 	})
 }
+
+// PeerStats reports each peer's current send-queue depth and its
+// cumulative drop count (queue evictions plus frames lost to write
+// errors). Peers that were never sent to are absent.
+type PeerStats struct {
+	Queued int
+	Drops  uint64
+}
+
+// Stats returns per-peer send statistics for monitoring and the bench
+// harness.
+func (n *Node) Stats() map[smr.NodeID]PeerStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[smr.NodeID]PeerStats, len(n.conns))
+	for id, pc := range n.conns {
+		depth, drops := pc.q.stats()
+		out[id] = PeerStats{Queued: depth, Drops: drops}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Inbound path
+// ---------------------------------------------------------------------------
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -156,33 +257,182 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return
 		}
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		n.inbound[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
 		go n.readLoop(conn)
 	}
 }
 
 func (n *Node) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
 	br := bufio.NewReader(conn)
-	var buf []byte
 	for {
-		payload, err := ReadFrame(br, buf)
+		// Each frame gets a fresh buffer: the decoded message's byte
+		// fields alias it, and the message outlives this iteration.
+		payload, err := ReadFrame(br, nil)
 		if err != nil {
 			return
 		}
-		buf = payload // reuse the grown storage for the next frame
-		var env envelope
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		rd := wire.NewReader(payload)
+		from, ok := rd.I64()
+		if !ok {
+			return // malformed header: desynced peer, drop the conn
+		}
+		msg, err := xpaxos.DecodeMessage(payload[8:])
+		if err != nil {
 			return
 		}
 		select {
-		case n.inbox <- smr.Recv{From: env.From, Msg: env.Msg}:
-		case <-n.stop:
+		case n.inbox <- smr.Recv{From: smr.NodeID(from), Msg: msg}:
+		case <-n.ctx.Done():
 			return
 		}
 	}
 }
 
-// --- smr.Env ---------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Outbound path
+// ---------------------------------------------------------------------------
+
+// Send implements smr.Env. It only enqueues: encoding, dialing and
+// writing all happen on the peer's writer goroutine, so Send returns in
+// O(1) regardless of peer health. Overflow evicts the oldest queued
+// message (counted in Stats).
+func (n *Node) Send(to smr.NodeID, m smr.Message) {
+	pc := n.peer(to)
+	if pc == nil {
+		return
+	}
+	pc.q.push(m)
+}
+
+// peer returns to's peerConn, starting its writer on first use.
+func (n *Node) peer(to smr.NodeID) *peerConn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if pc := n.conns[to]; pc != nil {
+		return pc
+	}
+	addr, ok := n.peers[to]
+	if !ok || n.stopped {
+		return nil
+	}
+	pc := &peerConn{addr: addr, q: newSendQueue(n.queueCap)}
+	n.conns[to] = pc
+	n.wg.Add(1)
+	go n.writeLoop(pc)
+	return pc
+}
+
+// writeLoop drains pc's queue onto its connection, (re)dialing as
+// needed. A failed dial parks the loop in capped exponential backoff
+// while the bounded queue absorbs — and, when full, sheds — new
+// traffic. Frames are buffered and flushed when the queue drains, so
+// bursts coalesce into few syscalls without delaying a lone message.
+func (n *Node) writeLoop(pc *peerConn) {
+	defer n.wg.Done()
+	defer pc.closeConn()
+	var bw *bufio.Writer
+	// unflushed counts frames accepted by bw since its last successful
+	// flush: if the connection fails they die in the buffer, and the
+	// drop counter must cover them too ("counted, not silent"). It can
+	// overcount — bufio flushes transparently when full, so some may
+	// already be on the wire — but never undercounts.
+	var unflushed uint64
+	buf := wire.New(4 << 10) // reused per-frame encode buffer
+	backoff := dialBackoffMin
+	dialer := net.Dialer{Timeout: n.dialTimeout}
+	fail := func(extra uint64) {
+		pc.closeConn()
+		bw = nil
+		pc.q.countDrops(unflushed + extra)
+		unflushed = 0
+	}
+	for {
+		m, ok := pc.q.pop()
+		if !ok {
+			if bw != nil {
+				if err := bw.Flush(); err != nil {
+					fail(0)
+				} else {
+					unflushed = 0
+				}
+			}
+			select {
+			case <-pc.q.notify:
+				continue
+			case <-n.ctx.Done():
+				return
+			}
+		}
+		// Ensure a live connection; the dequeued message waits through
+		// backoff (newer messages accumulate behind it, oldest-first
+		// eviction applies if the peer stays down).
+		for bw == nil {
+			c, err := dialer.DialContext(n.ctx, "tcp", pc.addr)
+			if err != nil {
+				if n.ctx.Err() != nil {
+					return
+				}
+				select {
+				case <-time.After(backoff):
+				case <-n.ctx.Done():
+					return
+				}
+				if backoff *= 2; backoff > dialBackoffMax {
+					backoff = dialBackoffMax
+				}
+				continue
+			}
+			backoff = dialBackoffMin
+			if !pc.setConn(c) {
+				return // Stop won the race; the conn is closed
+			}
+			bw = bufio.NewWriterSize(c, writeBufSize)
+		}
+		buf.Reset()
+		buf.I64(int64(n.id))
+		if err := xpaxos.AppendMessage(buf, m); err != nil {
+			pc.q.countDrops(1) // not encodable: shed, but count
+			continue
+		}
+		if err := WriteFrame(bw, buf.Done()); err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Rejected before any bytes hit the stream: the
+				// connection is still in sync, shed just this message.
+				pc.q.countDrops(1)
+				continue
+			}
+			fail(1)
+			continue
+		}
+		unflushed++
+		if pc.q.empty() {
+			if err := bw.Flush(); err != nil {
+				fail(0)
+			} else {
+				unflushed = 0
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// smr.Env
+// ---------------------------------------------------------------------------
 
 // ID implements smr.Env.
 func (n *Node) ID() smr.NodeID { return n.id }
@@ -190,84 +440,20 @@ func (n *Node) ID() smr.NodeID { return n.id }
 // Now implements smr.Env.
 func (n *Node) Now() time.Duration { return time.Since(n.start) }
 
-// Send implements smr.Env: lazily dialed, dropped on failure. Safe
-// for concurrent callers; the per-connection lock makes each frame
-// atomic on the wire.
-func (n *Node) Send(to smr.NodeID, m smr.Message) {
-	pc := n.conn(to)
-	if pc == nil {
-		return
-	}
-	pc.mu.Lock()
-	pc.buf.Reset()
-	err := gob.NewEncoder(&pc.buf).Encode(envelope{From: n.id, Msg: m})
-	if err == nil {
-		err = WriteFrame(pc.c, pc.buf.Bytes())
-	}
-	pc.mu.Unlock()
-	if err != nil {
-		n.dropConn(to, pc)
-	}
-}
-
-func (n *Node) conn(to smr.NodeID) *peerConn {
-	n.mu.Lock()
-	pc := n.conns[to]
-	n.mu.Unlock()
-	if pc != nil {
-		return pc
-	}
-	addr, ok := n.peers[to]
-	if !ok {
-		return nil
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil
-	}
-	pc = &peerConn{c: c}
-	n.mu.Lock()
-	if existing := n.conns[to]; existing != nil {
-		n.mu.Unlock()
-		c.Close()
-		return existing
-	}
-	n.conns[to] = pc
-	n.mu.Unlock()
-	return pc
-}
-
-func (n *Node) dropConn(to smr.NodeID, pc *peerConn) {
-	n.mu.Lock()
-	if n.conns[to] == pc {
-		delete(n.conns, to)
-	}
-	n.mu.Unlock()
-	pc.c.Close()
-}
-
-// SetTimer implements smr.Env.
+// SetTimer implements smr.Env. TimerFired events are never dropped on
+// a full inbox (the firing goroutine waits for space or shutdown):
+// only delivery clears the timer's bookkeeping.
 func (n *Node) SetTimer(d time.Duration, kind string) smr.TimerID {
-	n.nextTimer++
-	id := n.nextTimer
-	t := time.AfterFunc(d, func() {
+	return n.timers.Set(d, kind, func(tf smr.TimerFired) {
 		select {
-		case n.inbox <- smr.TimerFired{ID: id, Kind: kind}:
-		case <-n.stop:
+		case n.inbox <- tf:
+		case <-n.ctx.Done():
 		}
 	})
-	n.pending[id] = t
-	return id
 }
 
 // CancelTimer implements smr.Env.
-func (n *Node) CancelTimer(id smr.TimerID) {
-	if t, ok := n.pending[id]; ok && t.Stop() {
-		delete(n.pending, id)
-		return
-	}
-	n.cancelled[id] = true
-}
+func (n *Node) CancelTimer(id smr.TimerID) { n.timers.Cancel(id) }
 
 var _ smr.Env = (*Node)(nil)
 

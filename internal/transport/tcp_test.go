@@ -1,19 +1,21 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/smr"
 	"github.com/xft-consensus/xft/internal/xpaxos"
 )
-
-func init() { RegisterXPaxosMessages() }
 
 // ---------------------------------------------------------------------------
 // Frame codec
@@ -262,6 +264,160 @@ func TestNodeTeardownWithInflight(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestStopReleasesGoroutines checks Serve/Stop goroutine hygiene: the
+// accept loop, every inbound readLoop and every peer writer must exit
+// on Stop, without waiting for the remote end to hang up.
+func TestStopReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	a, b, sa, sb := newPair(t)
+	// Traffic in both directions creates inbound and outbound
+	// connections (and thus readLoop + writeLoop goroutines) on each.
+	a.Send(1, testMsg(1))
+	b.Send(0, testMsg(2))
+	waitFor(t, func() bool { return sa.count() == 1 && sb.count() == 1 }, "cross traffic")
+	a.Stop()
+	b.Stop()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 },
+		fmt.Sprintf("goroutines to return to ~%d (now %d)", before, runtime.NumGoroutine()))
+}
+
+// timerCancelNode cancels every timer right after it is delivered (a
+// no-op by contract) — the regression here is that this used to leave a
+// permanent tombstone per timer in the cancelled map.
+type timerCancelNode struct {
+	env   smr.Env
+	fired chan smr.TimerID
+}
+
+func (tn *timerCancelNode) Init(env smr.Env) { tn.env = env }
+func (tn *timerCancelNode) Step(ev smr.Event) {
+	switch ev := ev.(type) {
+	case smr.Start:
+		// A cancelled-before-firing timer must leave no state behind.
+		id := tn.env.SetTimer(time.Hour, "never")
+		tn.env.CancelTimer(id)
+		tn.env.SetTimer(time.Millisecond, "soon")
+	case smr.TimerFired:
+		tn.env.CancelTimer(ev.ID) // already delivered: must be a no-op
+		select {
+		case tn.fired <- ev.ID:
+		default:
+		}
+	}
+}
+
+func TestCancelTimerLeavesNoTombstones(t *testing.T) {
+	tn := &timerCancelNode{fired: make(chan smr.TimerID, 1)}
+	n, err := NewNode(0, tn, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { n.Run(); close(done) }()
+	select {
+	case <-tn.fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	n.Stop()
+	<-done // Run returned: timer maps are quiescent
+	if pending, tombstones := n.timers.Sizes(); pending != 0 || tombstones != 0 {
+		t.Errorf("timer maps leaked: pending=%d tombstones=%d", pending, tombstones)
+	}
+}
+
+// TestSendDownPeerDoesNotBlock is the regression test for the old
+// synchronous DialTimeout under Send: with an unreachable peer, a burst
+// of sends must return immediately (the writer goroutine absorbs the
+// dial), and overflow must be counted, not silent.
+func TestSendDownPeerDoesNotBlock(t *testing.T) {
+	// A listener that is closed right away yields an address that
+	// refuses connections deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	downAddr := ln.Addr().String()
+	ln.Close()
+
+	sink := &sinkNode{}
+	n, err := NewNode(0, sink, "127.0.0.1:0", map[smr.NodeID]string{1: downAddr},
+		WithSendQueueCap(8), WithDialTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run()
+	defer n.Stop()
+
+	const burst = 100
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		n.Send(1, testMsg(uint64(i)))
+	}
+	if el := time.Since(start); el > 200*time.Millisecond {
+		t.Fatalf("Send burst to down peer took %v; event loop stalled", el)
+	}
+	st := n.Stats()[1]
+	if st.Queued > 8 {
+		t.Errorf("queue depth %d exceeds cap 8", st.Queued)
+	}
+	// 100 sends, cap 8, at most one in flight in the writer: the rest
+	// must be counted as drops.
+	if st.Drops < burst-8-1 {
+		t.Errorf("drops = %d, want >= %d", st.Drops, burst-8-1)
+	}
+}
+
+// TestSlowPeerBoundedQueue covers the backpressure contract against a
+// live but slow peer: the queue stays bounded, stale messages are shed
+// with a counter, and everything sent is either delivered or counted.
+func TestSlowPeerBoundedQueue(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var received atomic.Int64
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			if _, err := ReadFrame(br, nil); err != nil {
+				return
+			}
+			received.Add(1)
+			time.Sleep(2 * time.Millisecond) // a slow consumer
+		}
+	}()
+
+	sink := &sinkNode{}
+	n, err := NewNode(0, sink, "127.0.0.1:0", map[smr.NodeID]string{1: ln.Addr().String()},
+		WithSendQueueCap(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run()
+	defer n.Stop()
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		n.Send(1, testMsg(uint64(i)))
+	}
+	// Every message is accounted for: drained to the peer or counted as
+	// a drop — never silently lost in an unbounded buffer.
+	waitFor(t, func() bool {
+		st := n.Stats()[1]
+		return st.Queued == 0 && received.Load()+int64(st.Drops) == total
+	}, "all sends delivered or counted")
+	if st := n.Stats()[1]; st.Drops == 0 {
+		t.Error("expected the bounded queue to shed load against a slow peer; drops = 0")
+	}
 }
 
 func TestParsePeers(t *testing.T) {

@@ -64,6 +64,14 @@ func (w *Buf) U64(v uint64) *Buf {
 // I64 appends a fixed-width little-endian int64.
 func (w *Buf) I64(v int64) *Buf { return w.U64(uint64(v)) }
 
+// Bool appends a bool as one byte (1 or 0).
+func (w *Buf) Bool(v bool) *Buf {
+	if v {
+		return w.U8(1)
+	}
+	return w.U8(0)
+}
+
 // Bytes appends a length-prefixed byte string.
 func (w *Buf) Bytes(p []byte) *Buf {
 	w.U32(uint32(len(p)))
@@ -129,6 +137,17 @@ func (r *Reader) U64() (uint64, bool) {
 func (r *Reader) I64() (int64, bool) {
 	v, ok := r.U64()
 	return int64(v), ok
+}
+
+// Bool reads a bool byte. Only 0 and 1 are accepted, keeping the
+// encoding canonical: every valid encoding re-encodes to identical
+// bytes.
+func (r *Reader) Bool() (bool, bool) {
+	v, ok := r.U8()
+	if !ok || v > 1 {
+		return false, false
+	}
+	return v == 1, true
 }
 
 // Bytes reads a length-prefixed byte string. The returned slice

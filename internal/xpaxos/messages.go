@@ -507,7 +507,9 @@ func (m *MsgVCFinal) Type() string { return "vc-final" }
 func (m *MsgVCFinal) WireSize() int {
 	s := msgHeader + 8 + 8 + len(m.Sig)
 	for _, vc := range m.VCSet {
-		s += vc.WireSize()
+		if vc != nil {
+			s += vc.WireSize()
+		}
 	}
 	return s
 }
