@@ -1,0 +1,301 @@
+// Command benchdiff parses `go test -bench` output into a stable JSON
+// form and gates benchmark regressions against a committed baseline.
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 5 ./... | benchdiff parse -o BENCH_pr.json
+//	benchdiff compare -baseline BENCH_baseline.json -current BENCH_pr.json -tolerance 0.20
+//
+// parse averages repeated runs of the same benchmark (-count N) per
+// metric. compare checks every metric present in both files: for
+// time/size-like metrics (ns/op, ns/sig, B/op, allocs/op) higher is
+// worse; for rate-like metrics (anything ending in /s, and *-x
+// speedup factors) lower is worse. A metric regressing past the
+// tolerance fails the run with a non-zero exit; benchmarks present
+// only on one side are reported but never fail the gate, so adding or
+// renaming benchmarks does not require a lockstep baseline refresh.
+//
+// The deterministic-simulator benchmarks (BenchmarkPipelineSimWAN)
+// report virtual-time throughput, which is reproducible across hosts;
+// wall-clock metrics vary with hardware, which is why the CI gate
+// runs with a generous tolerance and the baseline is refreshed from a
+// trusted CI run's artifact (see CONTRIBUTING.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON schema shared by baseline and PR files.
+type Report struct {
+	// Benchmarks maps benchmark name -> metric name -> mean value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "ratio":
+		cmdRatio(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchdiff parse [-o out.json] [file...]        # parse bench output (default stdin)
+  benchdiff compare -baseline a.json -current b.json [-tolerance 0.20] [-soft regex]
+  benchdiff ratio -file x.json -num 'Bench:metric' -den 'Bench:metric' -min 1.5`)
+	os.Exit(2)
+}
+
+// ---------------------------------------------------------------------------
+// parse
+// ---------------------------------------------------------------------------
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	acc := make(map[string]map[string][]float64)
+	readInto := func(r io.Reader) {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			parseLine(sc.Text(), acc)
+		}
+	}
+	if fs.NArg() == 0 {
+		readInto(os.Stdin)
+	} else {
+		for _, f := range fs.Args() {
+			fh, err := os.Open(f)
+			if err != nil {
+				fatal(err)
+			}
+			readInto(fh)
+			fh.Close()
+		}
+	}
+
+	rep := Report{Benchmarks: make(map[string]map[string]float64, len(acc))}
+	for name, metrics := range acc {
+		m := make(map[string]float64, len(metrics))
+		for metric, vals := range metrics {
+			m[metric] = mean(vals)
+		}
+		rep.Benchmarks[name] = m
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: warning: no benchmark lines found")
+	}
+}
+
+// parseLine extracts one `BenchmarkName  iters  v1 unit1  v2 unit2 ...`
+// line into acc.
+func parseLine(line string, acc map[string]map[string][]float64) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return // second field must be the iteration count
+	}
+	name := fields[0]
+	metrics := acc[name]
+	if metrics == nil {
+		metrics = make(map[string][]float64)
+		acc[name] = metrics
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return // desynced (e.g. a "PASS" tail); stop at first non-pair
+		}
+		metrics[fields[i+1]] = append(metrics[fields[i+1]], v)
+	}
+}
+
+func mean(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// ---------------------------------------------------------------------------
+// compare
+// ---------------------------------------------------------------------------
+
+// higherIsBetter classifies a metric's direction: throughput-like
+// metrics improve upward, cost-like metrics improve downward.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/s") || strings.HasSuffix(metric, "-x")
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline JSON (required)")
+	curPath := fs.String("current", "", "current JSON (required)")
+	tol := fs.Float64("tolerance", 0.20, "allowed relative regression (0.20 = 20%)")
+	softPat := fs.String("soft", "", "regex of metric names to report without gating (wall-clock metrics on unlike hardware)")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		usage()
+	}
+	var soft *regexp.Regexp
+	if *softPat != "" {
+		var err error
+		if soft, err = regexp.Compile(*softPat); err != nil {
+			fatal(err)
+		}
+	}
+	base := load(*basePath)
+	cur := load(*curPath)
+
+	var names []string
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		bm, cm := base.Benchmarks[name], cur.Benchmarks[name]
+		if cm == nil {
+			fmt.Printf("SKIP  %-60s absent from current run\n", name)
+			continue
+		}
+		var metrics []string
+		for m := range bm {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			bv := bm[metric]
+			cv, ok := cm[metric]
+			if !ok || bv == 0 {
+				continue
+			}
+			compared++
+			// delta > 0 always means "worse by that fraction".
+			delta := (cv - bv) / bv
+			if higherIsBetter(metric) {
+				delta = -delta
+			}
+			status := "ok  "
+			switch {
+			case soft != nil && soft.MatchString(metric):
+				status = "soft" // informational only
+			case delta > *tol:
+				status = "FAIL"
+				failed++
+			case delta < -*tol:
+				status = "good" // improvement beyond tolerance: report, never fail
+			}
+			fmt.Printf("%s  %-60s %-12s %14.2f -> %14.2f  (%+.1f%%)\n",
+				status, name, metric, bv, cv, 100*(cv-bv)/bv)
+		}
+	}
+	for name := range cur.Benchmarks {
+		if base.Benchmarks[name] == nil {
+			fmt.Printf("NEW   %-60s not in baseline (refresh to start gating it)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing compared — baseline and current share no benchmarks")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", failed, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metric(s) within ±%.0f%%\n", compared, *tol*100)
+}
+
+// cmdRatio asserts an in-run ratio between two metrics of the same
+// report — e.g. sequential ns/sig over batched ns/sig ≥ 1.5. Ratios
+// within one run cancel out host speed, so they gate correctly on any
+// hardware where absolute wall-clock comparisons against a foreign
+// baseline would flap.
+func cmdRatio(args []string) {
+	fs := flag.NewFlagSet("ratio", flag.ExitOnError)
+	file := fs.String("file", "", "parsed bench JSON (required)")
+	num := fs.String("num", "", "numerator as 'BenchmarkName:metric' (required)")
+	den := fs.String("den", "", "denominator as 'BenchmarkName:metric' (required)")
+	min := fs.Float64("min", 0, "fail if num/den falls below this")
+	fs.Parse(args)
+	if *file == "" || *num == "" || *den == "" {
+		usage()
+	}
+	rep := load(*file)
+	lookup := func(spec string) float64 {
+		name, metric, ok := strings.Cut(spec, ":")
+		if !ok {
+			fatal(fmt.Errorf("bad metric spec %q (want 'BenchmarkName:metric')", spec))
+		}
+		m := rep.Benchmarks[name]
+		if m == nil {
+			fatal(fmt.Errorf("benchmark %q not in %s", name, *file))
+		}
+		v, found := m[metric]
+		if !found {
+			fatal(fmt.Errorf("metric %q not in benchmark %q", metric, name))
+		}
+		return v
+	}
+	n, d := lookup(*num), lookup(*den)
+	if d == 0 {
+		fatal(fmt.Errorf("denominator %s is zero", *den))
+	}
+	r := n / d
+	fmt.Printf("ratio %s / %s = %.3f (min %.3f)\n", *num, *den, r, *min)
+	if r < *min {
+		fmt.Fprintf(os.Stderr, "benchdiff: ratio %.3f below required %.3f\n", r, *min)
+		os.Exit(1)
+	}
+}
+
+func load(path string) Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

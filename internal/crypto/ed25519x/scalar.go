@@ -1,0 +1,141 @@
+package ed25519x
+
+import (
+	"encoding/binary"
+	"math/big"
+)
+
+// order is l = 2^252 + 27742317777372353535851937790883648493, the
+// prime order of the Ed25519 base-point subgroup.
+var order, _ = new(big.Int).SetString(
+	"7237005577332262213973186563042994240857116359379907606001950938285454250989", 10)
+
+// scalar is an integer mod l. Scalar arithmetic is a vanishing
+// fraction of batch verification (a handful of big.Int multiplications
+// versus thousands of field multiplications), so math/big keeps this
+// simple rather than hand-rolling 4-limb Barrett reduction.
+type scalar struct {
+	v big.Int
+}
+
+// setCanonical loads a little-endian 32-byte scalar, rejecting values
+// >= l. RFC 8032 verification requires this bound on the signature's S
+// component; accepting the redundant encodings would make signatures
+// malleable.
+func (s *scalar) setCanonical(b []byte) bool {
+	if len(b) != 32 {
+		return false
+	}
+	var be [32]byte
+	for i := range be {
+		be[i] = b[31-i]
+	}
+	s.v.SetBytes(be[:])
+	return s.v.Cmp(order) < 0
+}
+
+// setUniform loads a 64-byte little-endian value (a SHA-512 digest)
+// reduced mod l.
+func (s *scalar) setUniform(b []byte) *scalar {
+	var be [64]byte
+	for i := range be {
+		be[i] = b[63-i]
+	}
+	s.v.SetBytes(be[:])
+	s.v.Mod(&s.v, order)
+	return s
+}
+
+// setUint64 loads a small integer.
+func (s *scalar) setUint64(x uint64) *scalar {
+	s.v.SetUint64(x)
+	return s
+}
+
+// setBytesLE loads up to 32 little-endian bytes without range checks
+// (used for the random 128-bit batching coefficients, which are well
+// under l).
+func (s *scalar) setBytesLE(b []byte) *scalar {
+	be := make([]byte, len(b))
+	for i := range be {
+		be[i] = b[len(b)-1-i]
+	}
+	s.v.SetBytes(be)
+	return s
+}
+
+// mulAdd sets s = a*b + c mod l. Any of a, b, c may alias s.
+func (s *scalar) mulAdd(a, b, c *scalar) *scalar {
+	var prod big.Int
+	prod.Mul(&a.v, &b.v)
+	prod.Add(&prod, &c.v)
+	s.v.Mod(&prod, order)
+	return s
+}
+
+// mul sets s = a*b mod l.
+func (s *scalar) mul(a, b *scalar) *scalar {
+	s.v.Mul(&a.v, &b.v)
+	s.v.Mod(&s.v, order)
+	return s
+}
+
+// add sets s = a+b mod l.
+func (s *scalar) add(a, b *scalar) *scalar {
+	s.v.Add(&a.v, &b.v)
+	s.v.Mod(&s.v, order)
+	return s
+}
+
+// nonAdjacentForm decomposes s into width-5 NAF digits: at most one in
+// any 5 consecutive positions is non-zero, each odd in [-15, 15]. A
+// 253-bit scalar yields at most 254 digits; 256 slots cover it.
+//
+// The density of non-zero digits is ~1/6, so Straus multi-scalar
+// multiplication pays one curve addition per six doublings per term.
+func (s *scalar) nonAdjacentForm(naf *[256]int8) {
+	*naf = [256]int8{}
+	// Work on the 256-bit little-endian limb image; the NAF rewrite
+	// only ever adds at positions above the current one, so a fifth
+	// limb absorbs the final carry.
+	var be [32]byte
+	s.v.FillBytes(be[:])
+	var k [5]uint64
+	for i := 0; i < 4; i++ {
+		k[i] = binary.BigEndian.Uint64(be[24-8*i:])
+	}
+	bit := func(pos int) uint64 { return (k[pos/64] >> (pos % 64)) & 1 }
+	window := func(pos int) uint64 { // 5 bits starting at pos
+		w := uint64(0)
+		for j := 0; j < 5; j++ {
+			w |= bit(pos+j) << j
+		}
+		return w
+	}
+	pos := 0
+	for pos < 256 {
+		if bit(pos) == 0 {
+			pos++
+			continue
+		}
+		w := int64(window(pos))
+		if w > 15 {
+			w -= 32
+			// Subtracting the negative digit adds 2^(pos+5): propagate
+			// the carry upward.
+			for j := pos + 5; ; j++ {
+				if bit(j) == 0 {
+					k[j/64] |= 1 << (j % 64)
+					break
+				}
+				k[j/64] &^= 1 << (j % 64)
+			}
+		}
+		naf[pos] = int8(w)
+		// Clear the consumed window.
+		for j := 0; j < 5; j++ {
+			k[(pos+j)/64] &^= 1 << ((pos + j) % 64)
+		}
+		pos += 5
+	}
+}

@@ -153,4 +153,22 @@ func (m *Meter) SignatureSize() int { return m.inner.SignatureSize() }
 // MACSize implements Suite.
 func (m *Meter) MACSize() int { return m.inner.MACSize() }
 
+// SupportsBatchVerify implements BatchSuite: a meter batches exactly
+// when its inner suite does.
+func (m *Meter) SupportsBatchVerify() bool { return suiteBatches(m.inner) }
+
+// BatchVerify implements BatchSuite. Each job is counted as one
+// verification: the cost model charges the paper's per-signature RSA
+// constants, which have no batching discount — the simulator therefore
+// reproduces the paper's CPU accounting while live hardware enjoys the
+// speedup.
+func (m *Meter) BatchVerify(jobs []VerifyJob) bool {
+	m.total.verifies.Add(uint64(len(jobs)))
+	for i := range jobs {
+		m.total.bytes.Add(uint64(len(jobs[i].Data)))
+	}
+	return batchVerifyAll(m.inner, jobs)
+}
+
 var _ Suite = (*Meter)(nil)
+var _ BatchSuite = (*Meter)(nil)

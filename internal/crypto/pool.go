@@ -26,7 +26,8 @@ type VerifyJob struct {
 // the job inline instead of queueing unboundedly, so a Pool can never
 // deadlock even if callers submit from inside worker context.
 type Pool struct {
-	tasks chan func()
+	tasks   chan func()
+	workers int
 	// mu guards closed against the submit path: submitters hold the
 	// read side while sending, Close takes the write side before
 	// closing the channel, so a send on a closed channel is impossible
@@ -39,13 +40,23 @@ type Pool struct {
 // overhead exceeds the win; smaller batches verify inline.
 const minParallelJobs = 2
 
+// minAlgebraicBatch is the size from which one multi-scalar batch pass
+// (see BatchSuite) beats scattering single verifications, even on one
+// core.
+const minAlgebraicBatch = 4
+
+// batchChunkTarget is the minimum per-worker chunk when a large batch
+// splits across the pool: below this the shared-doubling amortization
+// lost to splitting outweighs the extra parallelism.
+const batchChunkTarget = 16
+
 // NewPool starts a pool with the given number of workers; workers <= 0
 // selects GOMAXPROCS.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan func(), 4*workers)}
+	p := &Pool{tasks: make(chan func(), 4*workers), workers: workers}
 	for i := 0; i < workers; i++ {
 		go func() {
 			for task := range p.tasks {
@@ -96,6 +107,32 @@ func (p *Pool) submit(task func()) {
 // SimSuite are immutable after construction and Meter counts with
 // atomics, so every suite in this repository qualifies.
 func (p *Pool) VerifyAll(s Suite, jobs []VerifyJob) bool {
+	if suiteBatches(s) && len(jobs) >= minAlgebraicBatch {
+		bs := s.(BatchSuite)
+		nc := p.batchChunks(len(jobs))
+		if nc == 1 {
+			return bs.BatchVerify(jobs)
+		}
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		size := (len(jobs) + nc - 1) / nc
+		for start := 0; start < len(jobs); start += size {
+			end := start + size
+			if end > len(jobs) {
+				end = len(jobs)
+			}
+			chunk := jobs[start:end]
+			wg.Add(1)
+			p.submit(func() {
+				defer wg.Done()
+				if !failed.Load() && !bs.BatchVerify(chunk) {
+					failed.Store(true)
+				}
+			})
+		}
+		wg.Wait()
+		return !failed.Load()
+	}
 	if p == nil || len(jobs) < minParallelJobs {
 		for i := range jobs {
 			if !s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig) {
@@ -129,6 +166,29 @@ func (p *Pool) VerifyAll(s Suite, jobs []VerifyJob) bool {
 // intake at the primary).
 func (p *Pool) VerifyEach(s Suite, jobs []VerifyJob) []bool {
 	out := make([]bool, len(jobs))
+	if suiteBatches(s) && len(jobs) >= minAlgebraicBatch {
+		nc := p.batchChunks(len(jobs))
+		if nc == 1 {
+			batchVerdicts(s, jobs, out)
+			return out
+		}
+		var wg sync.WaitGroup
+		size := (len(jobs) + nc - 1) / nc
+		for start := 0; start < len(jobs); start += size {
+			end := start + size
+			if end > len(jobs) {
+				end = len(jobs)
+			}
+			start, end := start, end
+			wg.Add(1)
+			p.submit(func() {
+				defer wg.Done()
+				batchVerdicts(s, jobs[start:end], out[start:end])
+			})
+		}
+		wg.Wait()
+		return out
+	}
 	if p == nil || len(jobs) < minParallelJobs {
 		for i := range jobs {
 			out[i] = s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig)
@@ -147,6 +207,24 @@ func (p *Pool) VerifyEach(s Suite, jobs []VerifyJob) []bool {
 	}
 	wg.Wait()
 	return out
+}
+
+// batchChunks returns how many chunks a batch of n jobs should split
+// into: one per worker, but never chunks smaller than batchChunkTarget
+// (splitting erodes the shared-doubling amortization that makes batch
+// verification fast), and exactly one for a nil pool.
+func (p *Pool) batchChunks(n int) int {
+	if p == nil {
+		return 1
+	}
+	c := n / batchChunkTarget
+	if c > p.workers {
+		c = p.workers
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // sharedPool is the process-wide default pool, created on first use.

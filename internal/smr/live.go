@@ -89,7 +89,9 @@ func (rt *LiveRuntime) Stop() {
 	rt.wg.Wait()
 }
 
-// Submit injects an event (typically Invoke) into a node's loop.
+// Submit injects an event (typically Invoke) into a node's loop,
+// dropping it if the inbox is full — the right behavior for
+// network-like traffic the protocols already tolerate losing.
 func (rt *LiveRuntime) Submit(id NodeID, ev Event) {
 	rt.mu.Lock()
 	ln := rt.nodes[id]
@@ -100,6 +102,24 @@ func (rt *LiveRuntime) Submit(id NodeID, ev Event) {
 	select {
 	case ln.inbox <- ev:
 	default:
+	}
+}
+
+// SubmitWait injects an event, blocking until the node's inbox has
+// room or the node stops. Drivers submitting their own Invokes use
+// this: an open-loop client that silently loses an Invoke undercounts
+// its window forever, unlike lost network traffic which retransmission
+// recovers.
+func (rt *LiveRuntime) SubmitWait(id NodeID, ev Event) {
+	rt.mu.Lock()
+	ln := rt.nodes[id]
+	rt.mu.Unlock()
+	if ln == nil {
+		return
+	}
+	select {
+	case ln.inbox <- ev:
+	case <-ln.stop:
 	}
 }
 

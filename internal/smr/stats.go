@@ -1,0 +1,26 @@
+package smr
+
+// IntakeStats is a snapshot of a node's request-admission health. It
+// lives here — the protocol-neutral layer — so transports and
+// monitoring can consume it without depending on a concrete protocol
+// package; xpaxos.Replica produces it.
+type IntakeStats struct {
+	// Queued is the number of requests currently in the admission
+	// queue.
+	Queued int
+	// Admitted counts requests accepted into the queue since boot.
+	Admitted uint64
+	// Shed counts requests rejected by the queue bounds (global
+	// capacity or per-client quota). A growing Shed with a full queue
+	// is the signature of overload — or of a request blast.
+	Shed uint64
+	// ForwardDropped counts client requests a follower discarded
+	// instead of forwarding to the primary because their signature did
+	// not verify (the verify-before-forward guard).
+	ForwardDropped uint64
+	// PressureDropped counts requests the primary rejected at
+	// admission because signature verification — demanded once the
+	// named client's queue is deep — failed (the anti-quota-pinning
+	// guard).
+	PressureDropped uint64
+}

@@ -233,15 +233,37 @@ type PeerStats struct {
 	Drops  uint64
 }
 
-// Stats returns per-peer send statistics for monitoring and the bench
-// harness.
-func (n *Node) Stats() map[smr.NodeID]PeerStats {
+// Stats aggregates a node's transport and protocol health counters.
+type Stats struct {
+	// Peers holds per-peer send statistics.
+	Peers map[smr.NodeID]PeerStats
+	// Intake reports the hosted protocol node's request-admission
+	// health (nil when the node does not track intake — e.g. clients).
+	Intake *smr.IntakeStats
+}
+
+// intakeReporter is implemented by hosted nodes that track request
+// admission (xpaxos.Replica). The stats type is smr's, keeping this
+// package protocol-agnostic (the xpaxos import above is for the wire
+// codec only).
+type intakeReporter interface {
+	IntakeStats() smr.IntakeStats
+}
+
+// Stats returns transport and intake statistics for monitoring and the
+// bench harness.
+func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make(map[smr.NodeID]PeerStats, len(n.conns))
+	peers := make(map[smr.NodeID]PeerStats, len(n.conns))
 	for id, pc := range n.conns {
 		depth, drops := pc.q.stats()
-		out[id] = PeerStats{Queued: depth, Drops: drops}
+		peers[id] = PeerStats{Queued: depth, Drops: drops}
+	}
+	n.mu.Unlock()
+	out := Stats{Peers: peers}
+	if ir, ok := n.node.(intakeReporter); ok {
+		st := ir.IntakeStats()
+		out.Intake = &st
 	}
 	return out
 }

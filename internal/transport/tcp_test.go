@@ -359,7 +359,7 @@ func TestSendDownPeerDoesNotBlock(t *testing.T) {
 	if el := time.Since(start); el > 200*time.Millisecond {
 		t.Fatalf("Send burst to down peer took %v; event loop stalled", el)
 	}
-	st := n.Stats()[1]
+	st := n.Stats().Peers[1]
 	if st.Queued > 8 {
 		t.Errorf("queue depth %d exceeds cap 8", st.Queued)
 	}
@@ -412,10 +412,10 @@ func TestSlowPeerBoundedQueue(t *testing.T) {
 	// Every message is accounted for: drained to the peer or counted as
 	// a drop — never silently lost in an unbounded buffer.
 	waitFor(t, func() bool {
-		st := n.Stats()[1]
+		st := n.Stats().Peers[1]
 		return st.Queued == 0 && received.Load()+int64(st.Drops) == total
 	}, "all sends delivered or counted")
-	if st := n.Stats()[1]; st.Drops == 0 {
+	if st := n.Stats().Peers[1]; st.Drops == 0 {
 		t.Error("expected the bounded queue to shed load against a slow peer; drops = 0")
 	}
 }

@@ -18,7 +18,11 @@ import (
 // executed the log.
 // ---------------------------------------------------------------------------
 
-// snapshotState serializes the replica's full replicated state.
+// snapshotState serializes the replica's full replicated state: the
+// application snapshot plus, per client, the execution-dedupe window
+// (execMark) and every cached reply inside it. Clients and replies are
+// emitted in sorted order so the encoding — and therefore the
+// checkpoint digest — is identical across replicas.
 func (r *Replica) snapshotState() []byte {
 	w := wire.New(1024)
 	w.Bytes(r.app.Snapshot())
@@ -30,12 +34,13 @@ func (r *Replica) snapshotState() []byte {
 	w.U32(uint32(len(clients)))
 	for _, c := range clients {
 		id := smr.NodeID(c)
-		w.I64(int64(id)).U64(r.lastExec[id])
-		cr, ok := r.replies[id]
-		if !ok {
-			cr = cachedReply{}
+		m := r.lastExec[id]
+		w.I64(int64(id)).U64(m.last).U64(m.bits)
+		cached := r.replies.all(id)
+		w.U32(uint32(len(cached)))
+		for _, cr := range cached {
+			w.U64(cr.TS).U64(uint64(cr.SN)).U64(uint64(cr.View)).Bytes(cr.Rep)
 		}
-		w.U64(cr.TS).U64(uint64(cr.SN)).U64(uint64(cr.View)).Bytes(cr.Rep)
 	}
 	return w.Done()
 }
@@ -51,20 +56,27 @@ func (r *Replica) restoreState(snap []byte) bool {
 	if !ok {
 		return false
 	}
-	lastExec := make(map[smr.NodeID]uint64, n)
-	replies := make(map[smr.NodeID]cachedReply, n)
+	lastExec := make(map[smr.NodeID]execMark, n)
+	replies := make(replyCache, n)
 	for i := uint32(0); i < n; i++ {
 		id, ok1 := rd.I64()
 		ts, ok2 := rd.U64()
-		crTS, ok3 := rd.U64()
-		crSN, ok4 := rd.U64()
-		crView, ok5 := rd.U64()
-		rep, ok6 := rd.Bytes()
-		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) {
+		bits, ok3 := rd.U64()
+		nrep, ok4 := rd.U32()
+		if !(ok1 && ok2 && ok3 && ok4) || nrep > execWindowBits {
 			return false
 		}
-		lastExec[smr.NodeID(id)] = ts
-		replies[smr.NodeID(id)] = cachedReply{TS: crTS, SN: smr.SeqNum(crSN), View: smr.View(crView), Rep: rep}
+		lastExec[smr.NodeID(id)] = execMark{last: ts, bits: bits}
+		for j := uint32(0); j < nrep; j++ {
+			crTS, ok5 := rd.U64()
+			crSN, ok6 := rd.U64()
+			crView, ok7 := rd.U64()
+			rep, ok8 := rd.Bytes()
+			if !(ok5 && ok6 && ok7 && ok8) {
+				return false
+			}
+			replies.put(smr.NodeID(id), cachedReply{TS: crTS, SN: smr.SeqNum(crSN), View: smr.View(crView), Rep: rep})
+		}
 	}
 	r.lastExec = lastExec
 	r.replies = replies

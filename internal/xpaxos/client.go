@@ -1,6 +1,8 @@
 package xpaxos
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/crypto"
@@ -14,6 +16,17 @@ type ClientConfig struct {
 	// RequestTimeout is timer_c (Algorithm 4); defaults to 4Δ with the
 	// paper's Δ when zero.
 	RequestTimeout time.Duration
+	// Window is the maximum number of requests the client may keep
+	// outstanding at once. The default 1 is the paper's closed-loop
+	// client: each request commits before the next is issued. Larger
+	// windows make the client open-loop — Invoke may be called again
+	// before earlier requests commit — which exercises the server
+	// pipeline and admission queue from few client identities.
+	// Deployments should keep Window at or below the replicas'
+	// IntakePerClient quota, or the overflow is shed at the primary
+	// and recovered only by retransmission. Values above 64 (the
+	// replicas' per-client execution-dedupe window) are clamped.
+	Window int
 	// TSBase is the starting client timestamp. A client identity that
 	// may be reused across process restarts (cmd/xft-client) must set
 	// this to a monotonically fresh value (e.g. wall-clock nanoseconds)
@@ -26,7 +39,7 @@ type ClientConfig struct {
 	OnCommit func(op, reply []byte, latency time.Duration)
 }
 
-// pendingReq tracks the in-flight request.
+// pendingReq tracks one in-flight request.
 type pendingReq struct {
 	req     Request
 	sentAt  time.Duration
@@ -44,7 +57,10 @@ type replyVote struct {
 // Client is an XPaxos client: it signs requests, sends them to the
 // primary of its current view guess, collects matching replies from
 // the t+1 active replicas, and falls back to the retransmission
-// protocol of Algorithm 4 on timeout.
+// protocol of Algorithm 4 on timeout. Up to ClientConfig.Window
+// requests may be outstanding at once; requests are timestamped (and
+// executed) in issue order, but commit notifications follow the
+// cluster's batching and may arrive together.
 type Client struct {
 	env   smr.Env
 	cfg   ClientConfig
@@ -54,7 +70,8 @@ type Client struct {
 
 	ts      uint64
 	view    smr.View
-	pending *pendingReq
+	pending map[uint64]*pendingReq // by request timestamp
+	timers  map[smr.TimerID]uint64 // retransmission timer -> timestamp
 
 	// Committed counts successful requests (exported for tests).
 	Committed uint64
@@ -73,7 +90,21 @@ func NewClient(id smr.NodeID, cfg ClientConfig) *Client {
 	if cfg.T == 0 {
 		cfg.T = (cfg.N - 1) / 2
 	}
-	return &Client{cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, ts: cfg.TSBase}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.Window > execWindowBits {
+		// The replicas dedupe per-client execution over a window of
+		// execWindowBits timestamps; more outstanding requests than
+		// that could be silently swallowed as "already executed", so
+		// the window is clamped rather than trusted.
+		cfg.Window = execWindowBits
+	}
+	return &Client{
+		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, ts: cfg.TSBase,
+		pending: make(map[uint64]*pendingReq),
+		timers:  make(map[smr.TimerID]uint64),
+	}
 }
 
 // Init implements smr.Node.
@@ -82,24 +113,34 @@ func (c *Client) Init(env smr.Env) { c.env = env }
 // View returns the client's current view guess.
 func (c *Client) View() smr.View { return c.view }
 
+// Outstanding returns the number of in-flight requests.
+func (c *Client) Outstanding() int { return len(c.pending) }
+
+// Window returns the configured window size.
+func (c *Client) Window() int { return c.cfg.Window }
+
 // Invoke submits an operation. It must be called from within the
 // node's event context (e.g. the OnCommit callback, a Start handler,
-// or an smr.Invoke event). One request may be outstanding at a time —
-// clients are closed-loop, as in the paper's benchmarks.
+// or an smr.Invoke event). At most Window requests may be outstanding
+// at a time; with the default Window of 1 the client is closed-loop,
+// as in the paper's benchmarks.
 func (c *Client) Invoke(op []byte) {
-	if c.pending != nil {
-		panic("xpaxos: client invoked with a request outstanding")
+	if len(c.pending) >= c.cfg.Window {
+		panic(fmt.Sprintf("xpaxos: client invoked with %d requests outstanding (window %d)",
+			len(c.pending), c.cfg.Window))
 	}
 	c.ts++
 	req := Request{Op: op, TS: c.ts, Client: c.id}
 	req.Sig = c.suite.Sign(crypto.NodeID(c.id), req.SigPayload())
-	c.pending = &pendingReq{
+	p := &pendingReq{
 		req:     req,
 		sentAt:  c.env.Now(),
 		replies: make(map[smr.NodeID]replyVote),
 	}
+	c.pending[req.TS] = p
 	c.env.Send(Primary(c.n, c.t, c.view), &MsgReplicate{Req: req})
-	c.pending.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+	p.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+	c.timers[p.timer] = req.TS
 }
 
 // Step implements smr.Node.
@@ -109,8 +150,9 @@ func (c *Client) Step(ev smr.Event) {
 	case smr.Invoke:
 		c.Invoke(e.Op)
 	case smr.TimerFired:
-		if c.pending != nil && e.ID == c.pending.timer {
-			c.onTimeout()
+		if ts, ok := c.timers[e.ID]; ok {
+			delete(c.timers, e.ID)
+			c.onTimeout(ts)
 		}
 	case smr.Recv:
 		c.onRecv(e.From, e.Msg)
@@ -133,8 +175,8 @@ func (c *Client) onRecv(from smr.NodeID, msg smr.Message) {
 // onReply handles a full reply (the primary's; and for t = 1 the only
 // reply, carrying the follower's m1).
 func (c *Client) onReply(from smr.NodeID, m *MsgReply) {
-	p := c.pending
-	if p == nil || m.TS != p.req.TS || m.From != from {
+	p := c.pending[m.TS]
+	if p == nil || m.From != from {
 		return
 	}
 	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), m.MACPayload(), m.MAC) {
@@ -161,17 +203,17 @@ func (c *Client) onReply(from smr.NodeID, m *MsgReply) {
 		if !crypto.VerifyMerkleProof(leaf, m.Proof, fc.RepRoot) {
 			return
 		}
-		c.commit(m.Rep)
+		c.commit(p, m.Rep)
 		return
 	}
 	p.replies[from] = replyVote{sn: m.SN, view: m.View, repDigest: crypto.Hash(m.Rep), rep: m.Rep}
-	c.checkQuorum()
+	c.checkQuorum(p)
 }
 
 // onReplyDigest handles a follower's digest reply (t ≥ 2).
 func (c *Client) onReplyDigest(from smr.NodeID, m *MsgReplyDigest) {
-	p := c.pending
-	if p == nil || m.TS != p.req.TS || m.From != from || c.t < 2 {
+	p := c.pending[m.TS]
+	if p == nil || m.From != from || c.t < 2 {
 		return
 	}
 	if !c.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(c.id), m.MACPayload(), m.MAC) {
@@ -181,16 +223,12 @@ func (c *Client) onReplyDigest(from smr.NodeID, m *MsgReplyDigest) {
 		c.view = m.View
 	}
 	p.replies[from] = replyVote{sn: m.SN, view: m.View, repDigest: m.RepDigest}
-	c.checkQuorum()
+	c.checkQuorum(p)
 }
 
-// checkQuorum commits when t+1 matching replies from the active
+// checkQuorum commits p when t+1 matching replies from the active
 // replicas of one view are in and the full reply is known.
-func (c *Client) checkQuorum() {
-	p := c.pending
-	if p == nil {
-		return
-	}
+func (c *Client) checkQuorum(p *pendingReq) {
 	// Group votes by (view, sn, digest).
 	type key struct {
 		v  smr.View
@@ -230,7 +268,7 @@ func (c *Client) checkQuorum() {
 		if !found {
 			continue // digests match but nobody sent the payload yet
 		}
-		c.commit(rep)
+		c.commit(p, rep)
 		return
 	}
 }
@@ -241,8 +279,11 @@ func (c *Client) checkQuorum() {
 // have moved past); t+1 distinct replicas vouching for the same reply
 // digest guarantee at least one correct replica executed it.
 func (c *Client) onSignedReply(from smr.NodeID, m *MsgSignedReply) {
-	p := c.pending
-	if p == nil || len(m.Replies) < c.t+1 {
+	if len(m.Replies) < c.t+1 {
+		return
+	}
+	p := c.pending[m.Replies[0].TS]
+	if p == nil {
 		return
 	}
 	d := crypto.Hash(m.Rep)
@@ -263,12 +304,12 @@ func (c *Client) onSignedReply(from smr.NodeID, m *MsgSignedReply) {
 			c.view = rs.View
 		}
 	}
-	c.commit(m.Rep)
+	c.commit(p, m.Rep)
 }
 
 // onSuspect: a replica told us the view is changing (Algorithm 4 lines
 // 11–15) — move to the next view, relay the suspicion to its active
-// replicas, and re-send the pending request to the new primary.
+// replicas, and re-send every pending request to the new primary.
 func (c *Client) onSuspect(from smr.NodeID, m *MsgSuspect) {
 	if !InGroup(c.n, c.t, m.View, m.From) {
 		return
@@ -283,17 +324,28 @@ func (c *Client) onSuspect(from smr.NodeID, m *MsgSuspect) {
 	for _, id := range SyncGroup(c.n, c.t, c.view) {
 		c.env.Send(id, m)
 	}
-	if p := c.pending; p != nil {
-		c.env.Send(Primary(c.n, c.t, c.view), &MsgReplicate{Req: p.req})
+	// Re-send in timestamp order: the new primary's admission queue is
+	// per-client FIFO, and a gap-free ascending stream is what keeps
+	// the at-most-once execution counter from skipping any of them.
+	resend := make([]*pendingReq, 0, len(c.pending))
+	for _, p := range c.pending {
+		resend = append(resend, p)
+	}
+	sort.Slice(resend, func(i, j int) bool { return resend[i].req.TS < resend[j].req.TS })
+	primary := Primary(c.n, c.t, c.view)
+	for _, p := range resend {
+		c.env.Send(primary, &MsgReplicate{Req: p.req})
 		c.env.CancelTimer(p.timer)
+		delete(c.timers, p.timer)
 		p.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+		c.timers[p.timer] = p.req.TS
 	}
 }
 
-// onTimeout broadcasts the request to all active replicas
+// onTimeout broadcasts the timed-out request to all active replicas
 // (Algorithm 4 lines 1–2).
-func (c *Client) onTimeout() {
-	p := c.pending
+func (c *Client) onTimeout(ts uint64) {
+	p := c.pending[ts]
 	if p == nil {
 		return
 	}
@@ -303,13 +355,14 @@ func (c *Client) onTimeout() {
 		c.env.Send(id, msg)
 	}
 	p.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")
+	c.timers[p.timer] = ts
 }
 
-// commit finishes the pending request.
-func (c *Client) commit(rep []byte) {
-	p := c.pending
+// commit finishes a pending request.
+func (c *Client) commit(p *pendingReq, rep []byte) {
 	c.env.CancelTimer(p.timer)
-	c.pending = nil
+	delete(c.timers, p.timer)
+	delete(c.pending, p.req.TS)
 	c.Committed++
 	if c.cfg.OnCommit != nil {
 		c.cfg.OnCommit(p.req.Op, rep, c.env.Now()-p.sentAt)

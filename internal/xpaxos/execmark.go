@@ -1,0 +1,63 @@
+package xpaxos
+
+// execWindowBits is the width of the per-client executed-timestamp
+// window. Client windows (ClientConfig.Window) must not exceed it:
+// the dedupe below treats anything older than the window as already
+// executed, so a client with more concurrent timestamps than this
+// could have a stale request silently swallowed.
+const execWindowBits = 64
+
+// execMark is one client's at-most-once execution state: the highest
+// executed timestamp plus a bitmap of the execWindowBits most recent
+// timestamps at or below it.
+//
+// The seed implementation kept only the monotone high-water mark and
+// skipped any timestamp at or below it. That is exactly right for the
+// paper's closed-loop clients (timestamps arrive in order), but an
+// open-loop client keeps a window of requests outstanding, and
+// overload shedding can admit timestamp n+1 before a shed n returns
+// via retransmission. Under a monotone mark, n would then be
+// unexecutable forever: skipped as "old" with no cached reply, its
+// retransmissions would open progress watches, and every watch expiry
+// would condemn another view — unbounded view-change churn from one
+// stranded request. The bitmap lets a late timestamp inside the window
+// execute on arrival instead. Requests inside a client's window are
+// concurrent by construction, so executing them in arrival order is a
+// valid serialization; the bitmap state is derived purely from the
+// committed log, so replicas stay deterministic.
+type execMark struct {
+	last uint64 // highest executed timestamp; 0 = none
+	bits uint64 // bit i set => (last - i) executed; bit 0 is last itself
+}
+
+// executed reports whether ts was already executed. Timestamps beyond
+// the window's lower edge count as executed: they are either ancient
+// duplicates or a previous client incarnation (TSBase jumps).
+func (m execMark) executed(ts uint64) bool {
+	if m.last == 0 || ts > m.last {
+		return false
+	}
+	d := m.last - ts
+	if d >= execWindowBits {
+		return true
+	}
+	return m.bits>>d&1 == 1
+}
+
+// record marks ts executed.
+func (m execMark) record(ts uint64) execMark {
+	if ts > m.last {
+		shift := ts - m.last
+		if m.last == 0 || shift >= execWindowBits {
+			m.bits = 1
+		} else {
+			m.bits = m.bits<<shift | 1
+		}
+		m.last = ts
+		return m
+	}
+	if d := m.last - ts; d < execWindowBits {
+		m.bits |= 1 << d
+	}
+	return m
+}

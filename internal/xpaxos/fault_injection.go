@@ -1,6 +1,7 @@
 package xpaxos
 
 import (
+	"github.com/xft-consensus/xft/internal/crypto"
 	"github.com/xft-consensus/xft/internal/smr"
 )
 
@@ -46,10 +47,10 @@ func (r *Replica) InjectWipeState() {
 	r.agreedVCSet = make(map[smr.View]map[vcKey]*MsgViewChange)
 	r.preView = 0
 	r.sn, r.ex = 0, 0
-	r.lastExec = make(map[smr.NodeID]uint64)
-	r.replies = make(map[smr.NodeID]cachedReply)
-	r.queued = make(map[smr.NodeID]queuedMark)
-	r.pendingReqs = nil
+	r.lastExec = make(map[smr.NodeID]execMark)
+	r.replies = make(replyCache)
+	r.queued = make(map[watchKey]crypto.Digest)
+	r.intake.reset()
 }
 
 // InjectForkPrepare replaces the prepare-log entry at sn with a forged

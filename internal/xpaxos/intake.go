@@ -1,0 +1,153 @@
+package xpaxos
+
+import (
+	"sync/atomic"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// admissionQueue is the primary's bounded intake of pending client
+// requests. Before it existed the backlog was an unbounded slice: a
+// forged-request blast (or simply more offered load than the pipeline
+// drains) grew memory without limit while the window was full
+// (ROADMAP: request-intake hardening). The queue enforces two bounds —
+// a global capacity and a per-client quota — and sheds (drops,
+// counting) everything beyond them; batch formation drains clients
+// round-robin so one chatty or hostile client cannot starve the rest
+// no matter how fast it submits.
+//
+// A shed request leaves no trace: the client's retransmission protocol
+// re-offers it, and the per-client execution window (execMark) lets it
+// execute even if a later timestamp from the same client slipped in
+// first.
+//
+// Mutating methods run only on the replica event loop; the counters
+// are atomic so IntakeStats may be read from any goroutine (the
+// transport surfaces them via Node.Stats while the loop runs).
+type admissionQueue struct {
+	capTotal     int
+	capPerClient int
+
+	total   int
+	pending map[smr.NodeID][]Request
+	// ring is the round-robin drain order: clients with at least one
+	// pending request, oldest-served first.
+	ring []smr.NodeID
+
+	admitted        atomic.Uint64
+	shed            atomic.Uint64
+	queued          atomic.Int64
+	forwardDropped  atomic.Uint64
+	pressureDropped atomic.Uint64
+}
+
+// IntakeStats is a snapshot of request-intake health, exposed through
+// Replica.IntakeStats and transport.Node.Stats. The type lives in smr
+// so the transport stays protocol-agnostic.
+type IntakeStats = smr.IntakeStats
+
+func (q *admissionQueue) init(capTotal, capPerClient int) {
+	q.capTotal = capTotal
+	q.capPerClient = capPerClient
+	q.pending = make(map[smr.NodeID][]Request)
+}
+
+// admit appends req to its client's queue, or sheds it when a bound is
+// hit. The caller must not have recorded any bookkeeping for req yet:
+// a shed request leaves no trace, so its retransmission is judged
+// fresh.
+func (q *admissionQueue) admit(req Request) bool {
+	cq := q.pending[req.Client]
+	if q.total >= q.capTotal || len(cq) >= q.capPerClient {
+		q.shed.Add(1)
+		return false
+	}
+	if len(cq) == 0 {
+		q.ring = append(q.ring, req.Client)
+	}
+	q.pending[req.Client] = append(cq, req)
+	q.total++
+	q.admitted.Add(1)
+	q.queued.Store(int64(q.total))
+	return true
+}
+
+// drain removes and returns up to max requests, one per client per
+// round-robin turn, preserving per-client FIFO order.
+func (q *admissionQueue) drain(max int) []Request {
+	if max > q.total {
+		max = q.total
+	}
+	if max == 0 {
+		return nil
+	}
+	out := make([]Request, 0, max)
+	for len(out) < max && len(q.ring) > 0 {
+		c := q.ring[0]
+		cq := q.pending[c]
+		out = append(out, cq[0])
+		if len(cq) == 1 {
+			delete(q.pending, c)
+			q.ring = q.ring[1:]
+		} else {
+			q.pending[c] = cq[1:]
+			// Rotate: the client rejoins the back of the ring.
+			q.ring = append(q.ring[1:], c)
+		}
+	}
+	q.total -= len(out)
+	q.queued.Store(int64(q.total))
+	return out
+}
+
+// verifyPressureDepth is the per-client queue depth from which
+// admission demands an up-front signature check (see pressured).
+const verifyPressureDepth = 8
+
+// pressured reports whether client's queue is deep enough that further
+// admissions must verify first. Intake verification is normally
+// deferred to batch formation (cheaper: the whole batch verifies in
+// one pass), but unverified admissions are charged to req.Client's
+// quota — so an attacker spraying forged requests that *name* a victim
+// client could pin the victim's quota and starve it. Demanding
+// verification once a client's queue is non-trivially deep bounds the
+// damage to verifyPressureDepth unverified slots: beyond that, forged
+// requests die at admission and cost only the attacker's own send
+// rate, while a genuine deep queue (an open-loop client) passes and
+// proceeds.
+func (q *admissionQueue) pressured(client smr.NodeID) bool {
+	return len(q.pending[client]) >= verifyPressureDepth
+}
+
+// size returns the number of queued requests.
+func (q *admissionQueue) size() int { return q.total }
+
+// each visits every queued request (per-client FIFO, ring order).
+func (q *admissionQueue) each(f func(*Request)) {
+	for _, c := range q.ring {
+		cq := q.pending[c]
+		for i := range cq {
+			f(&cq[i])
+		}
+	}
+}
+
+// reset drops all queued requests (fault injection / state wipe).
+// Counters deliberately survive: they are cumulative since boot.
+func (q *admissionQueue) reset() {
+	q.total = 0
+	q.pending = make(map[smr.NodeID][]Request)
+	q.ring = nil
+	q.queued.Store(0)
+}
+
+// stats snapshots the counters.
+func (q *admissionQueue) stats() IntakeStats {
+	return IntakeStats{
+		Queued:          int(q.queued.Load()),
+		Admitted:        q.admitted.Load(),
+		Shed:            q.shed.Load(),
+		ForwardDropped:  q.forwardDropped.Load(),
+		PressureDropped: q.pressureDropped.Load(),
+	}
+}

@@ -72,10 +72,11 @@ type Replica struct {
 	// (possible immediately after a view change).
 	pendingEntries map[smr.SeqNum]*PrepareEntry
 
-	// Batching and pipelining (primary only). maxInFlight records the
-	// high-water mark of assigned-but-unexecuted sequence numbers, for
-	// tests and stats.
-	pendingReqs   []Request
+	// Batching and pipelining (primary only). intake is the bounded
+	// admission queue of client requests awaiting batch formation;
+	// maxInFlight records the high-water mark of
+	// assigned-but-unexecuted sequence numbers, for tests and stats.
+	intake        admissionQueue
 	batchTimer    smr.TimerID
 	batchTimerSet bool
 	maxInFlight   int
@@ -85,9 +86,16 @@ type Replica struct {
 	verifyPool *crypto.Pool
 
 	// Client bookkeeping: at-most-once execution and reply cache.
-	lastExec map[smr.NodeID]uint64
-	replies  map[smr.NodeID]cachedReply
-	queued   map[smr.NodeID]queuedMark // client -> request queued in pendingReqs
+	lastExec map[smr.NodeID]execMark
+	replies  replyCache
+	// queued dedupes pipelined requests per (client, timestamp): an
+	// open-loop client has up to a window of timestamps in flight and
+	// may retransmit any of them, so a single per-client mark would
+	// only suppress duplicates of the newest. The value is the
+	// signature digest (see queuedMark doc below); entries are removed
+	// at execution, when the request was found invalid, or on view
+	// change, so the map is bounded by queued + in-flight requests.
+	queued map[watchKey]crypto.Digest
 
 	// Retransmission watches (Algorithm 4).
 	watches     map[watchKey]*watchState
@@ -115,15 +123,10 @@ type Replica struct {
 	convicted   map[faultID]bool
 }
 
-// queuedMark dedupes pipelined requests per client. It remembers the
-// signature digest because intake verification is deferred to batch
-// formation: a forged copy may reach the queue first, and the mark
-// alone must not let it suppress the honest client's request (see
-// onRequest).
-type queuedMark struct {
-	TS   uint64
-	SigD crypto.Digest
-}
+// The queued marker remembers the request's signature digest because
+// intake verification is deferred to batch formation: a forged copy
+// may reach the queue first, and the mark alone must not let it
+// suppress the honest client's request (see onRequest).
 
 type suspectKey struct {
 	View smr.View
@@ -151,9 +154,9 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		commitLog:      make(map[smr.SeqNum]*CommitEntry),
 		pendingCommits: make(map[smr.SeqNum]map[smr.NodeID]Order),
 		pendingEntries: make(map[smr.SeqNum]*PrepareEntry),
-		lastExec:       make(map[smr.NodeID]uint64),
-		replies:        make(map[smr.NodeID]cachedReply),
-		queued:         make(map[smr.NodeID]queuedMark),
+		lastExec:       make(map[smr.NodeID]execMark),
+		replies:        make(replyCache),
+		queued:         make(map[watchKey]crypto.Digest),
 		watches:        make(map[watchKey]*watchState),
 		watchTimers:    make(map[smr.TimerID]watchKey),
 		prechkVotes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
@@ -167,6 +170,7 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		fset:           make(map[smr.NodeID]bool),
 		convicted:      make(map[faultID]bool),
 	}
+	r.intake.init(cfg.IntakeQueueCap, cfg.IntakePerClient)
 	switch {
 	case cfg.VerifyWorkers == 1:
 		r.verifyPool = nil // serial verification in the event loop
@@ -340,22 +344,36 @@ func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
 	// verification pool in one call instead of costing the event loop
 	// one serial public-key operation per arrival. Paths that act on a
 	// request immediately still verify inline.
-	// At-most-once: an old or duplicate request gets the cached reply.
-	if last := r.lastExec[req.Client]; req.TS <= last {
-		if c, ok := r.replies[req.Client]; ok && c.TS == req.TS && r.isPrimary() && r.verifyRequest(&req) {
+	// At-most-once: an already-executed request gets the cached reply.
+	// A not-yet-executed timestamp inside the window (a shed request
+	// returning via retransmission) falls through to normal admission.
+	if r.lastExec[req.Client].executed(req.TS) {
+		if c, ok := r.replies.get(req.Client, req.TS); ok && r.isPrimary() && r.verifyRequest(&req) {
 			r.sendReply(req.Client, &req, c)
 		}
 		return
 	}
 	if !r.isPrimary() {
 		if !forwarded {
+			// Verify-before-forward: a follower authenticates the client
+			// signature before relaying, so a forged-request blast is
+			// absorbed here instead of being amplified into the
+			// primary's intake (ROADMAP: request-intake hardening).
+			// Batch verification keeps the per-request cost of this
+			// guard low on the batched paths; a lone forward costs one
+			// single verification.
+			if !r.verifyRequest(&req) {
+				r.intake.forwardDropped.Add(1)
+				return
+			}
 			r.env.Send(r.primary(), &MsgReplicate{Req: req})
 		}
 		return
 	}
-	mark := queuedMark{TS: req.TS, SigD: crypto.Hash(req.Sig)}
-	if q, ok := r.queued[req.Client]; ok && q.TS == req.TS {
-		if q.SigD == mark.SigD {
+	key := watchKey{Client: req.Client, TS: req.TS}
+	sigD := crypto.Hash(req.Sig)
+	if prev, ok := r.queued[key]; ok {
+		if prev == sigD {
 			return // identical copy already in the pipeline
 		}
 		// A different copy for the same (client, ts): the queued one is
@@ -367,10 +385,28 @@ func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
 			return
 		}
 	}
-	r.queued[req.Client] = mark
-	r.pendingReqs = append(r.pendingReqs, req)
+	// Once a client's queue is deep, further admissions must verify
+	// up front: unverified requests charge the named client's quota,
+	// which an attacker spraying forgeries in the victim's name could
+	// otherwise pin full (see admissionQueue.pressured).
+	if r.intake.pressured(req.Client) && !r.verifyRequest(&req) {
+		r.intake.pressureDropped.Add(1)
+		return
+	}
+	if !r.intake.admit(req) {
+		// Shed by the admission bounds. Leave no marker: a
+		// retransmission after the overload clears must be judged
+		// fresh, not suppressed as a duplicate.
+		return
+	}
+	r.queued[key] = sigD
 	r.flushBatches(false)
 }
+
+// IntakeStats reports the replica's request-intake health: admission
+// queue depth, cumulative admissions and sheds, and follower-side
+// forward drops. Safe to call from any goroutine.
+func (r *Replica) IntakeStats() IntakeStats { return r.intake.stats() }
 
 func (r *Replica) verifyRequest(req *Request) bool {
 	w := wire.Get()
@@ -414,16 +450,14 @@ func (r *Replica) flushBatches(force bool) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	for len(r.pendingReqs) > 0 && r.inFlight() < r.cfg.PipelineWindow {
-		if len(r.pendingReqs) < r.cfg.BatchSize && !force && r.inFlight() >= pipelineKeepBusy {
+	for r.intake.size() > 0 && r.inFlight() < r.cfg.PipelineWindow {
+		if r.intake.size() < r.cfg.BatchSize && !force && r.inFlight() >= pipelineKeepBusy {
 			break // partial batch and both stages are busy: let it fill
 		}
-		nreq := len(r.pendingReqs)
-		if nreq > r.cfg.BatchSize {
-			nreq = r.cfg.BatchSize
-		}
-		reqs := r.verifyIntake(r.pendingReqs[:nreq])
-		r.pendingReqs = r.pendingReqs[nreq:]
+		// Drain round-robin across clients: under overload every
+		// client lands requests in each batch instead of the queue
+		// head's owner monopolizing it.
+		reqs := r.verifyIntake(r.intake.drain(r.cfg.BatchSize))
 		if len(reqs) == 0 {
 			continue // nothing valid survived; try the next slice
 		}
@@ -432,7 +466,7 @@ func (r *Replica) flushBatches(force bool) {
 	}
 	// Anything left waits for more requests, a commit that frees a
 	// window slot, or the batch timer.
-	if len(r.pendingReqs) > 0 && !r.batchTimerSet {
+	if r.intake.size() > 0 && !r.batchTimerSet {
 		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
 		r.batchTimerSet = true
 	}
@@ -500,9 +534,9 @@ func (r *Replica) verifyIntake(cand []Request) []Request {
 		if !ok {
 			// Clear the marker only if it is this copy's: a valid copy
 			// queued alongside keeps its own mark.
-			mark := queuedMark{TS: cand[i].TS, SigD: crypto.Hash(cand[i].Sig)}
-			if r.queued[cand[i].Client] == mark {
-				delete(r.queued, cand[i].Client)
+			key := watchKey{Client: cand[i].Client, TS: cand[i].TS}
+			if r.queued[key] == crypto.Hash(cand[i].Sig) {
+				delete(r.queued, key)
 			}
 			continue
 		}
@@ -764,16 +798,20 @@ func (r *Replica) applyBatch(b *Batch, sn smr.SeqNum, v smr.View) (tss []uint64,
 	for i := range b.Reqs {
 		req := &b.Reqs[i]
 		tss[i] = req.TS
-		if req.TS <= r.lastExec[req.Client] {
-			if c, ok := r.replies[req.Client]; ok && c.TS == req.TS {
+		m := r.lastExec[req.Client]
+		if m.executed(req.TS) {
+			if c, ok := r.replies.get(req.Client, req.TS); ok {
 				reps[i] = c.Rep
 			}
 			continue
 		}
 		rep := r.app.Execute(req.Op)
-		r.lastExec[req.Client] = req.TS
-		r.replies[req.Client] = cachedReply{TS: req.TS, SN: sn, View: v, Rep: rep}
+		r.lastExec[req.Client] = m.record(req.TS)
+		r.replies.put(req.Client, cachedReply{TS: req.TS, SN: sn, View: v, Rep: rep})
 		reps[i] = rep
+		// Executed: the queued marker has done its job (the executed
+		// window takes over dedupe from here).
+		delete(r.queued, watchKey{Client: req.Client, TS: req.TS})
 		r.onExecutedWatched(req.Client, req.TS, sn, v, rep)
 	}
 	return tss, reps
@@ -818,8 +856,8 @@ func (r *Replica) sendReply(client smr.NodeID, req *Request, c cachedReply) {
 func (r *Replica) resendCommittedReplies(entry *CommitEntry) {
 	for i := range entry.Batch.Reqs {
 		req := &entry.Batch.Reqs[i]
-		c, ok := r.replies[req.Client]
-		if !ok || c.TS != req.TS {
+		c, ok := r.replies.get(req.Client, req.TS)
+		if !ok {
 			continue
 		}
 		if r.t == 1 {
@@ -953,7 +991,7 @@ func (r *Replica) onResend(from smr.NodeID, req Request) {
 		r.onRequest(from, req, true)
 	}
 	// If we already executed it, contribute our signed reply now.
-	if c, ok := r.replies[req.Client]; ok && c.TS == req.TS {
+	if c, ok := r.replies.get(req.Client, req.TS); ok {
 		r.broadcastReplySign(req.Client, req.TS, c)
 	}
 }
@@ -1012,7 +1050,7 @@ func (r *Replica) onReplySign(from smr.NodeID, m *MsgReplySign) {
 	// Contribute our own signature if we executed the request and have
 	// not spoken up yet.
 	if _, mine := w.sigs[r.id]; !mine {
-		if c, okRep := r.replies[rs.Client]; okRep && c.TS == rs.TS {
+		if c, okRep := r.replies.get(rs.Client, rs.TS); okRep {
 			r.broadcastReplySign(rs.Client, rs.TS, c)
 			return // re-entered through our own broadcast; quorum checked there
 		}
@@ -1033,8 +1071,8 @@ func (r *Replica) tryFinishWatch(w *watchState, digest crypto.Digest) {
 		return
 	}
 	sortReplySigs(matching)
-	c, okRep := r.replies[w.key.Client]
-	if !okRep || c.TS != w.key.TS || crypto.Hash(c.Rep) != digest {
+	c, okRep := r.replies.get(w.key.Client, w.key.TS)
+	if !okRep || crypto.Hash(c.Rep) != digest {
 		return // we lack the payload; another active will answer
 	}
 	r.env.Send(w.key.Client, &MsgSignedReply{Rep: c.Rep, Replies: matching[:r.t+1]})

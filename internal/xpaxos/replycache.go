@@ -1,0 +1,73 @@
+package xpaxos
+
+import "github.com/xft-consensus/xft/internal/smr"
+
+// replyCache holds each client's recently executed replies, keyed by
+// request timestamp, bounded to the execution-dedupe window
+// (execWindowBits entries per client, pruned to the window below the
+// highest cached timestamp).
+//
+// The seed implementation cached exactly one reply per client — right
+// for closed-loop clients, whose single outstanding request is always
+// the latest. An open-loop client keeps a window outstanding: if the
+// reply to TS = n is lost in transit while TS = n+1 has already
+// executed, a single-entry cache can never re-serve n — the
+// retransmission finds the request "already executed" with no reply
+// to give, the client's window slot hangs forever, and its progress
+// watches condemn view after view. The cache therefore mirrors
+// execMark: any timestamp the dedupe window remembers as executed has
+// its reply here.
+//
+// Entries are kept sorted by timestamp and pruning is a pure function
+// of the executed history, so the cache (and the checkpoint snapshots
+// serializing it) stays deterministic across replicas.
+type replyCache map[smr.NodeID][]cachedReply
+
+// get returns the cached reply for (client, ts).
+func (rc replyCache) get(client smr.NodeID, ts uint64) (cachedReply, bool) {
+	for _, c := range rc[client] {
+		if c.TS == ts {
+			return c, true
+		}
+	}
+	return cachedReply{}, false
+}
+
+// put inserts c's reply, keeping the client's entries sorted by
+// timestamp and pruned to the execution window.
+func (rc replyCache) put(client smr.NodeID, c cachedReply) {
+	s := rc[client]
+	// Sorted insert (replace on equal timestamp; re-execution cannot
+	// happen, but restores may re-install).
+	pos := len(s)
+	for i, e := range s {
+		if e.TS == c.TS {
+			s[i] = c
+			rc[client] = s
+			return
+		}
+		if e.TS > c.TS {
+			pos = i
+			break
+		}
+	}
+	s = append(s, cachedReply{})
+	copy(s[pos+1:], s[pos:])
+	s[pos] = c
+	// Prune below the window of the highest timestamp; execMark treats
+	// those as ancient duplicates and never asks for their replies.
+	hi := s[len(s)-1].TS
+	cut := 0
+	for cut < len(s) && s[cut].TS+execWindowBits <= hi {
+		cut++
+	}
+	s = s[cut:]
+	if len(s) > execWindowBits {
+		s = s[len(s)-execWindowBits:]
+	}
+	rc[client] = s
+}
+
+// all returns the client's cached replies in ascending timestamp
+// order (for checkpoint serialization).
+func (rc replyCache) all(client smr.NodeID) []cachedReply { return rc[client] }

@@ -111,11 +111,10 @@ func (r *Replica) enterView(nv smr.View) {
 	// forever.
 	r.pendingEntries = make(map[smr.SeqNum]*PrepareEntry)
 	r.pendingCommits = make(map[smr.SeqNum]map[smr.NodeID]Order)
-	r.queued = make(map[smr.NodeID]queuedMark, len(r.pendingReqs))
-	for i := range r.pendingReqs {
-		req := &r.pendingReqs[i]
-		r.queued[req.Client] = queuedMark{TS: req.TS, SigD: crypto.Hash(req.Sig)}
-	}
+	r.queued = make(map[watchKey]crypto.Digest, r.intake.size())
+	r.intake.each(func(req *Request) {
+		r.queued[watchKey{Client: req.Client, TS: req.TS}] = crypto.Hash(req.Sig)
+	})
 	if r.batchTimerSet {
 		r.env.CancelTimer(r.batchTimer)
 		r.batchTimerSet = false
@@ -639,7 +638,7 @@ func (r *Replica) collectReplyDigests(b *Batch) ([]uint64, []crypto.Digest) {
 	for i := range b.Reqs {
 		req := &b.Reqs[i]
 		tss[i] = req.TS
-		if c, ok := r.replies[req.Client]; ok && c.TS == req.TS {
+		if c, ok := r.replies.get(req.Client, req.TS); ok {
 			digs[i] = crypto.Hash(c.Rep)
 		}
 	}

@@ -64,6 +64,17 @@ type Config struct {
 	// event loop, and n > 1 gives this replica a dedicated n-worker
 	// pool (which lives for the life of the process).
 	VerifyWorkers int
+	// IntakeQueueCap bounds the primary's admission queue of pending
+	// client requests (default 4096). Arrivals beyond the bound are
+	// shed — counted in IntakeStats, never queued — so a request blast
+	// cannot grow memory while the pipeline window is full; clients
+	// recover via their retransmission protocol.
+	IntakeQueueCap int
+	// IntakePerClient bounds how many requests a single client may
+	// hold in the admission queue at once (default 256), so one chatty
+	// or hostile client cannot monopolize the intake. Open-loop
+	// clients should keep their window below this.
+	IntakePerClient int
 	// RequestTimeout is the client's retransmission timer and the
 	// active replicas' per-request progress timer (Algorithm 4).
 	RequestTimeout time.Duration
@@ -111,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineWindow == 0 {
 		c.PipelineWindow = 32
+	}
+	if c.IntakeQueueCap <= 0 {
+		c.IntakeQueueCap = 4096
+	}
+	if c.IntakePerClient <= 0 {
+		c.IntakePerClient = 256
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 4 * c.Delta

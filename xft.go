@@ -198,7 +198,7 @@ func (c *Cluster) NewClient() *Client {
 func (cl *Client) Invoke(op []byte) ([]byte, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	cl.cluster.rt.Submit(cl.id, smr.Invoke{Op: op})
+	cl.cluster.rt.SubmitWait(cl.id, smr.Invoke{Op: op})
 	select {
 	case r := <-cl.done:
 		return r.rep, nil
@@ -212,7 +212,7 @@ func (cl *Client) InvokeTimed(op []byte) ([]byte, time.Duration, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	start := time.Now()
-	cl.cluster.rt.Submit(cl.id, smr.Invoke{Op: op})
+	cl.cluster.rt.SubmitWait(cl.id, smr.Invoke{Op: op})
 	select {
 	case r := <-cl.done:
 		return r.rep, r.lat, nil
