@@ -9,7 +9,7 @@
 //
 // Experiments: fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10
 //
-//	table1 table2 table3 table5678 batchverify
+//	table1 table2 table3 table5678 batchverify asynccrypto
 //
 // By default experiments run at "quick" scale (seconds); -full runs
 // the paper-sized sweeps (minutes).
@@ -64,6 +64,8 @@ func main() {
 			bench.Tables5to8(os.Stdout)
 		case "batchverify":
 			bench.BatchVerifyReport(os.Stdout, sc)
+		case "asynccrypto":
+			bench.AsyncCryptoComparison(os.Stdout, sc)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -75,5 +77,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xft-bench [-full] <experiment>...
-experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify`)
+experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto`)
 }

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+)
+
+// asyncVerifyWorkers is the verification-pool width the async-crypto
+// experiment models (the acceptance criterion's "VerifyWorkers ≥ 4").
+const asyncVerifyWorkers = 4
+
+// AsyncCryptoComparison measures XPaxos common-case throughput at n=3
+// on the deterministic simulated WAN with the asynchronous crypto
+// pipeline disabled — every signature operation stalls the replica's
+// Step loop, the pre-pipeline behavior — versus enabled (the
+// default), and returns both points so benchmarks can gate on the
+// speedup.
+//
+// Unlike the paper-reproduction experiments, crypto here is priced
+// with CostModelModern: full (undivided) per-operation constants, a
+// 4-way verification pool and the batch-verification discount. The
+// model's attribution is deliberate and worth being explicit about:
+// the simulator has always charged Step-loop crypto at full serial
+// cost (a single-core event loop; the pool's parallelism was never
+// modeled in-loop — "deliberate for paper fidelity", ROADMAP), and
+// this experiment keeps that convention for the synchronous baseline.
+// The async leg runs verification on the modeled pool (elapsed =
+// cost/workers) and signing on its own unit, overlapping the loop and
+// each other. The measured speedup therefore bundles the two wins the
+// pipeline delivers *to the event loop* — off-loop overlap plus the
+// pool/batch pricing that moving the work off-loop unlocks in this
+// model — rather than isolating overlap alone. Virtual-time numbers
+// are reproducible bit-for-bit across hosts (sim-based stand-in for
+// the noisy live-cluster benchmark, per ROADMAP).
+func AsyncCryptoComparison(w io.Writer, sc Scale) (syncPoint, asyncPoint Point) {
+	clients := sc.clientCounts()[len(sc.clientCounts())-1]
+	cm := crypto.CostModelModern(asyncVerifyWorkers)
+	base := Spec{
+		Protocol: XPaxos, T: 1, App: NullApp, ReqSize: 1024,
+		Clients: clients, Seed: 11, CostModel: &cm,
+		// Replicas co-located (single-region placement), no egress cap:
+		// with the paper's WAN placement a few hundred closed-loop
+		// clients are latency-bound and the crypto units idle; this
+		// experiment isolates the CPU/crypto bottleneck the pipeline
+		// attacks, so it models the single-datacenter deployment where
+		// that bottleneck governs.
+		ReplicaRegions: []int{CA, CA, CA},
+	}
+	syncSpec := base
+	syncSpec.SyncCrypto = true
+	syncPoint = RunPoint(syncSpec, microOp(base.ReqSize), sc.warmup(), sc.measure())
+	asyncPoint = RunPoint(base, microOp(base.ReqSize), sc.warmup(), sc.measure())
+
+	fmt.Fprintf(w, "XPaxos async crypto pipeline, n=3, %d clients, 1/0 benchmark, modern cost model (%d verify workers)\n",
+		clients, asyncVerifyWorkers)
+	fmt.Fprintf(w, "sync Step-loop crypto:  %7.2f kops/s  latency %6.1f ms\n",
+		syncPoint.ThroughputKops, syncPoint.LatencyMs)
+	fmt.Fprintf(w, "async crypto pipeline:  %7.2f kops/s  latency %6.1f ms\n",
+		asyncPoint.ThroughputKops, asyncPoint.LatencyMs)
+	if syncPoint.ThroughputKops > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", asyncPoint.ThroughputKops/syncPoint.ThroughputKops)
+	}
+	return syncPoint, asyncPoint
+}

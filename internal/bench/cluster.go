@@ -75,6 +75,14 @@ type Spec struct {
 	Delta time.Duration
 	// EnableFD turns on XPaxos fault detection.
 	EnableFD bool
+	// SyncCrypto disables the async crypto pipeline on XPaxos
+	// replicas: every signature operation runs inside the Step loop
+	// (the pre-pipeline behavior), the baseline of the async-vs-sync
+	// experiment.
+	SyncCrypto bool
+	// CostModel overrides the per-core paper cost model (used by the
+	// modern-crypto experiments; nil keeps the default).
+	CostModel *crypto.CostModel
 }
 
 // Table4Regions returns the paper's replica placement (Table 4, t=1;
@@ -170,10 +178,14 @@ func Build(spec Spec) *Cluster {
 		regionOf[smr.ClientIDBase+smr.NodeID(i)] = regions[0]
 	}
 
+	cm := costModel() // per-core costs (8-way parallel crypto)
+	if spec.CostModel != nil {
+		cm = *spec.CostModel
+	}
 	net := netsim.New(netsim.Config{
 		Latency:           EC2Model(regionOf, false),
 		EgressBytesPerSec: spec.EgressMBps * 1e6,
-		CostModel:         costModel(), // per-core costs (8-way parallel crypto)
+		CostModel:         cm,
 		Seed:              spec.Seed,
 	})
 	suite := crypto.NewSimSuite(spec.Seed + 1)
@@ -201,7 +213,8 @@ func Build(spec Spec) *Cluster {
 				BatchSize: spec.BatchSize, PipelineWindow: spec.PipelineWindow,
 				RequestTimeout:    timeouts.req,
 				ViewChangeTimeout: timeouts.vc, CheckpointInterval: 32,
-				EnableFD: spec.EnableFD,
+				EnableFD:           spec.EnableFD,
+				DisableAsyncCrypto: spec.SyncCrypto,
 			}
 			addReplica(i, xpaxos.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
 		}

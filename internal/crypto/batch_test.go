@@ -123,12 +123,14 @@ func TestBatchVerifierUnknownSigner(t *testing.T) {
 	}
 }
 
-// TestBatchVerifierSimSuiteFallback: suites without batch algebra get
-// correct per-job verdicts through the sequential fallback.
+// TestBatchVerifierSimSuiteFallback: SimSuite advertises batch support
+// (so simulated verifications take the same code path — and meter
+// accounting — as live Ed25519 batches) and still produces correct
+// per-job verdicts through bisection.
 func TestBatchVerifierSimSuiteFallback(t *testing.T) {
 	suite := NewSimSuite(1)
-	if suiteBatches(suite) {
-		t.Fatal("SimSuite claims batch support")
+	if !suiteBatches(suite) {
+		t.Fatal("SimSuite does not claim batch support")
 	}
 	jobs, _ := batchFixture(t, suite, 6)
 	jobs[2].Sig = corrupt(jobs[2].Sig)
@@ -146,16 +148,17 @@ func TestBatchVerifierSimSuiteFallback(t *testing.T) {
 	}
 }
 
-// TestMeterForwardsBatch: a Meter over Ed25519 batches (and counts),
-// over SimSuite it does not claim to.
+// TestMeterForwardsBatch: a Meter batches exactly when its inner suite
+// does (Ed25519 and SimSuite both do), counting batched verifications
+// both in the Verifies total and in the BatchedVerifies subset.
 func TestMeterForwardsBatch(t *testing.T) {
 	inner := NewEd25519Suite(8, 1)
 	m := NewMeter(inner)
 	if !suiteBatches(m) {
 		t.Fatal("Meter over Ed25519Suite does not batch")
 	}
-	if suiteBatches(NewMeter(NewSimSuite(1))) {
-		t.Fatal("Meter over SimSuite claims to batch")
+	if !suiteBatches(NewMeter(NewSimSuite(1))) {
+		t.Fatal("Meter over SimSuite does not batch")
 	}
 	jobs, _ := batchFixture(t, inner, 10)
 	if !m.BatchVerify(jobs) {
@@ -163,6 +166,12 @@ func TestMeterForwardsBatch(t *testing.T) {
 	}
 	if got := m.Total().Verifies; got != 10 {
 		t.Errorf("metered verifies = %d, want 10", got)
+	}
+	if got := m.Total().BatchedVerifies; got != 10 {
+		t.Errorf("metered batched verifies = %d, want 10", got)
+	}
+	if m.Verify(0, jobs[0].Data, jobs[0].Sig); m.Total().BatchedVerifies != 10 {
+		t.Error("single Verify counted as batched")
 	}
 }
 

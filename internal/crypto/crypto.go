@@ -320,3 +320,23 @@ func (s *SimSuite) SignatureSize() int { return s.sigSize }
 
 // MACSize implements Suite.
 func (s *SimSuite) MACSize() int { return s.macSize }
+
+// SupportsBatchVerify implements BatchSuite. SimSuite has no batch
+// algebra to amortize — each signature is recomputed individually —
+// but advertising batch support routes simulated verifications through
+// the same batch path the live Ed25519 suite takes, so the simulator's
+// Meter counts them as batched and cost models with a batch discount
+// (CostModelModern) price them accordingly.
+func (s *SimSuite) SupportsBatchVerify() bool { return true }
+
+// BatchVerify implements BatchSuite.
+func (s *SimSuite) BatchVerify(jobs []VerifyJob) bool {
+	for i := range jobs {
+		if !s.Verify(jobs[i].ID, jobs[i].Data, jobs[i].Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ BatchSuite = (*SimSuite)(nil)

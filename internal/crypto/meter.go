@@ -25,6 +25,17 @@ type CostModel struct {
 	DigestCost   time.Duration // per digest
 	PerByteCost  time.Duration // per byte hashed/MACed/digested
 	DispatchCost time.Duration // fixed per-message handling overhead
+
+	// BatchVerifyCost, when non-zero, replaces VerifyCost for
+	// signatures checked through batch verification (the multi-scalar
+	// discount, see internal/crypto/ed25519x). Zero preserves the
+	// paper-fidelity model: RSA has no batching discount.
+	BatchVerifyCost time.Duration
+	// VerifyParallelism models the verification worker pool for
+	// elapsed-time accounting (Counts.Elapsed): verification work
+	// spreads across up to this many workers while everything else
+	// stays serial. Zero or one means no parallelism.
+	VerifyParallelism int
 }
 
 // DefaultCostModel returns the RSA-1024/HMAC-SHA1 cost model described
@@ -40,12 +51,32 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// CostModelModern extends the default model with the two hot-path
+// crypto optimizations this repository implements but the paper-era
+// model deliberately ignores (ROADMAP: "model the pool/batch discount
+// in the simulator"): batch verification amortizes the per-signature
+// verify cost (~1.7x at the paper's B=20, measured on the ed25519x
+// implementation), and the verification pool spreads verify work
+// across verifyWorkers cores. Signing stays serial — one signature
+// secures a whole batch, so there is nothing to parallelize. The
+// paper-fidelity RSA model (DefaultCostModel) remains the default
+// everywhere; this preset exists for the "modern crypto" experiments.
+func CostModelModern(verifyWorkers int) CostModel {
+	m := DefaultCostModel()
+	m.BatchVerifyCost = 15 * time.Microsecond
+	m.VerifyParallelism = verifyWorkers
+	return m
+}
+
 // Counts tallies cryptographic operations.
 type Counts struct {
 	Signs, Verifies   uint64
 	MACs, MACVerifies uint64
 	Digests           uint64
 	Bytes             uint64
+	// BatchedVerifies is the subset of Verifies checked through batch
+	// verification (eligible for CostModel.BatchVerifyCost).
+	BatchedVerifies uint64
 }
 
 // Add accumulates other into c.
@@ -56,21 +87,56 @@ func (c *Counts) Add(other Counts) {
 	c.MACVerifies += other.MACVerifies
 	c.Digests += other.Digests
 	c.Bytes += other.Bytes
+	c.BatchedVerifies += other.BatchedVerifies
 }
 
-// Cost returns the CPU time the counted operations consume under m.
+// verifyCost prices the verification portion of c under m, applying
+// the batch discount to the batched subset.
+func (c Counts) verifyCost(m CostModel) time.Duration {
+	batched := c.BatchedVerifies
+	if batched > c.Verifies {
+		batched = c.Verifies
+	}
+	perBatched := m.BatchVerifyCost
+	if perBatched == 0 {
+		perBatched = m.VerifyCost
+	}
+	return time.Duration(c.Verifies-batched)*m.VerifyCost +
+		time.Duration(batched)*perBatched
+}
+
+// Cost returns the CPU time the counted operations consume under m:
+// total work in core-time, regardless of how many cores share it.
 func (c Counts) Cost(m CostModel) time.Duration {
 	d := time.Duration(c.Signs)*m.SignCost +
-		time.Duration(c.Verifies)*m.VerifyCost +
+		c.verifyCost(m) +
 		time.Duration(c.MACs+c.MACVerifies)*m.MACCost +
 		time.Duration(c.Digests)*m.DigestCost +
 		time.Duration(c.Bytes)*m.PerByteCost
 	return d
 }
 
+// Elapsed returns the modeled wall-clock time the counted operations
+// occupy when verification spreads across m.VerifyParallelism workers
+// (never more workers than signatures). All other work is serial, so
+// with parallelism disabled Elapsed equals Cost.
+func (c Counts) Elapsed(m CostModel) time.Duration {
+	total := c.Cost(m)
+	p := uint64(m.VerifyParallelism)
+	if p > c.Verifies {
+		p = c.Verifies
+	}
+	if p <= 1 {
+		return total
+	}
+	v := c.verifyCost(m)
+	return total - v + v/time.Duration(p)
+}
+
 // atomicCounts is the lock-free mirror of Counts used inside Meter.
 type atomicCounts struct {
 	signs, verifies, macs, macVerifies, digests, bytes atomic.Uint64
+	batchedVerifies                                    atomic.Uint64
 }
 
 func (a *atomicCounts) load() Counts {
@@ -78,6 +144,7 @@ func (a *atomicCounts) load() Counts {
 		Signs: a.signs.Load(), Verifies: a.verifies.Load(),
 		MACs: a.macs.Load(), MACVerifies: a.macVerifies.Load(),
 		Digests: a.digests.Load(), Bytes: a.bytes.Load(),
+		BatchedVerifies: a.batchedVerifies.Load(),
 	}
 }
 
@@ -104,6 +171,7 @@ func (m *Meter) TakeWindow() Counts {
 		Signs: t.Signs - m.prevWindow.Signs, Verifies: t.Verifies - m.prevWindow.Verifies,
 		MACs: t.MACs - m.prevWindow.MACs, MACVerifies: t.MACVerifies - m.prevWindow.MACVerifies,
 		Digests: t.Digests - m.prevWindow.Digests, Bytes: t.Bytes - m.prevWindow.Bytes,
+		BatchedVerifies: t.BatchedVerifies - m.prevWindow.BatchedVerifies,
 	}
 	m.prevWindow = t
 	return w
@@ -158,12 +226,14 @@ func (m *Meter) MACSize() int { return m.inner.MACSize() }
 func (m *Meter) SupportsBatchVerify() bool { return suiteBatches(m.inner) }
 
 // BatchVerify implements BatchSuite. Each job is counted as one
-// verification: the cost model charges the paper's per-signature RSA
-// constants, which have no batching discount — the simulator therefore
-// reproduces the paper's CPU accounting while live hardware enjoys the
-// speedup.
+// verification, with the batched subset tracked separately: under the
+// default cost model batched and single verifications price
+// identically (the paper's RSA constants have no batching discount),
+// while CostModelModern charges the batched subset the discounted
+// rate.
 func (m *Meter) BatchVerify(jobs []VerifyJob) bool {
 	m.total.verifies.Add(uint64(len(jobs)))
+	m.total.batchedVerifies.Add(uint64(len(jobs)))
 	for i := range jobs {
 		m.total.bytes.Add(uint64(len(jobs[i].Data)))
 	}

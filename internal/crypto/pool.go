@@ -209,6 +209,33 @@ func (p *Pool) VerifyEach(s Suite, jobs []VerifyJob) []bool {
 	return out
 }
 
+// GoVerifyAll runs VerifyAll off the caller's goroutine and invokes
+// done(ok) when every verdict is in. done runs on the spawned
+// goroutine, never on the caller. This is the standalone asynchronous
+// submission surface for code that owns its own completion routing;
+// the replicas instead submit through smr.Env.Defer (whose work
+// closures call the blocking Pool methods) because their completions
+// must re-enter the event loop as smr.Async events under the runtime's
+// delivery guarantees. Safe on a nil pool — the verification then runs
+// serially, but still off the caller.
+func (p *Pool) GoVerifyAll(s Suite, jobs []VerifyJob, done func(ok bool)) {
+	go func() { done(p.VerifyAll(s, jobs)) }()
+}
+
+// GoVerifyEach is the asynchronous form of VerifyEach: done receives
+// the per-job verdicts. Same threading contract as GoVerifyAll.
+func (p *Pool) GoVerifyEach(s Suite, jobs []VerifyJob, done func(verdicts []bool)) {
+	go func() { done(p.VerifyEach(s, jobs)) }()
+}
+
+// GoSign produces a signature off the caller's goroutine. Signing is
+// inherently serial (one key, one message), so the job does not occupy
+// pool workers — it runs on its own goroutine, overlapping both the
+// caller and any in-flight verification.
+func (p *Pool) GoSign(s Suite, id NodeID, data []byte, done func(sig Signature)) {
+	go func() { done(s.Sign(id, data)) }()
+}
+
 // batchChunks returns how many chunks a batch of n jobs should split
 // into: one per worker, but never chunks smaller than batchChunkTarget
 // (splitting erodes the shared-doubling amortization that makes batch

@@ -59,8 +59,16 @@ type Config struct {
 type NodeStats struct {
 	MsgsSent, MsgsRecv   uint64
 	BytesSent, BytesRecv uint64
-	CPUBusy              time.Duration
-	Crypto               crypto.Counts
+	// CPUBusy is the node's total CPU work (event-loop Steps plus
+	// deferred crypto), in core-time: work spread across parallel
+	// verification workers still counts at its full serial cost here,
+	// matching Figure 8's percent-of-one-core accounting.
+	CPUBusy time.Duration
+	// AsyncBusy is the portion of CPUBusy performed off the event loop
+	// (Env.Defer), and AsyncJobs the number of deferred completions.
+	AsyncBusy time.Duration
+	AsyncJobs uint64
+	Crypto    crypto.Counts
 }
 
 // Network is the simulated WAN. It is not safe for concurrent use:
@@ -151,6 +159,11 @@ func (n *Network) ReplaceNode(id smr.NodeID, node smr.Node) {
 	}
 	sn.node = node
 	sn.queue = nil
+	sn.gen++ // orphan the old incarnation's in-flight deferred work
+	sn.deferred = sn.deferred[:0]
+	// The replacement gets idle crypto units: the orphaned jobs' modeled
+	// backlog died with the old incarnation.
+	sn.signFreeAt, sn.verifyFreeAt = 0, 0
 	for _, t := range sn.timers {
 		t.Cancel()
 	}
@@ -191,8 +204,13 @@ func (n *Network) MessageBytes() map[string]uint64 {
 }
 
 // Crash stops a node: it ceases processing and all in-flight traffic
-// to and from it is dropped until Recover.
-func (n *Network) Crash(id smr.NodeID) { n.nodes[id].crashed = true }
+// to and from it is dropped until Recover. Deferred crypto in flight at
+// the crash is volatile and dies with the node.
+func (n *Network) Crash(id smr.NodeID) {
+	sn := n.nodes[id]
+	sn.crashed = true
+	sn.gen++
+}
 
 // Recover restarts a crashed node in place, with whatever state the
 // node implementation retained. To model loss of volatile state,
@@ -203,6 +221,9 @@ func (n *Network) Recover(id smr.NodeID) {
 		return
 	}
 	sn.crashed = false
+	// The crash orphaned all deferred work (gen bump), so the recovered
+	// node's crypto units start idle.
+	sn.signFreeAt, sn.verifyFreeAt = 0, 0
 	sn.enqueue(smr.Start{})
 }
 
@@ -288,12 +309,31 @@ type simNode struct {
 	egressRate float64 // bytes/sec, 0 = infinite
 
 	crashed bool
+	// gen distinguishes node incarnations: ReplaceNode bumps it so
+	// deferred completions submitted by the old incarnation are
+	// discarded instead of reanimating it.
+	gen uint64
 
 	// CPU queue.
 	queue      []smr.Event
 	processing bool
 	inStep     bool
 	cpuFreeAt  time.Duration
+
+	// stepWindow accumulates the crypto metered by the Step currently
+	// executing, excluding work the Step handed to Defer.
+	stepWindow crypto.Counts
+
+	// Deferred crypto from the Step currently executing, flushed to the
+	// async units when the Step's own processing completes.
+	deferred []deferredJob
+	// signFreeAt/verifyFreeAt model the node's two off-loop crypto
+	// units: signing runs on its own goroutine in the live runtime
+	// while verification fans out through the worker pool, so the two
+	// overlap each other and the event loop; jobs on the same unit
+	// serialize (the pool is one resource, however parallel inside).
+	signFreeAt   time.Duration
+	verifyFreeAt time.Duration
 
 	// Egress serialization.
 	egressFreeAt time.Duration
@@ -305,6 +345,16 @@ type simNode struct {
 	timerID smr.TimerID
 
 	stats NodeStats
+}
+
+// deferredJob is one Env.Defer submission: the work already ran (the
+// simulation has no real concurrency), window is what it metered, and
+// apply is delivered as an smr.Async event when the modeled crypto
+// unit finishes it.
+type deferredJob struct {
+	kind   string
+	apply  func()
+	window crypto.Counts
 }
 
 type outMsg struct {
@@ -346,6 +396,33 @@ func (sn *simNode) CancelTimer(id smr.TimerID) {
 	}
 }
 
+// Defer implements smr.Env. The work function executes immediately —
+// the simulation is single-threaded, and the protocol needs its results
+// captured — but the time it metered is charged to the node's off-loop
+// sign or verify unit rather than the Step, and the Async completion is
+// scheduled for when that unit finishes the job. Crypto latency thus
+// overlaps the event loop (and the other unit) in virtual time exactly
+// as the live runtime overlaps it in wall-clock time.
+func (sn *simNode) Defer(kind string, work func(), apply func()) {
+	if !sn.inStep {
+		// Experiment scripts and fault injectors run outside Step; give
+		// them synchronous semantics.
+		work()
+		apply()
+		return
+	}
+	if sn.meter != nil {
+		// Ops metered so far belong to the Step, not to this job.
+		sn.stepWindow.Add(sn.meter.TakeWindow())
+	}
+	work()
+	var w crypto.Counts
+	if sn.meter != nil {
+		w = sn.meter.TakeWindow()
+	}
+	sn.deferred = append(sn.deferred, deferredJob{kind: kind, apply: apply, window: w})
+}
+
 // enqueue adds an event to the CPU queue and kicks processing.
 func (sn *simNode) enqueue(ev smr.Event) {
 	sn.queue = append(sn.queue, ev)
@@ -372,19 +449,55 @@ func (sn *simNode) processNext() {
 	if sn.meter != nil {
 		sn.meter.TakeWindow() // discard anything stale
 	}
+	sn.stepWindow = crypto.Counts{}
 	sn.outbox = sn.outbox[:0]
+	sn.deferred = sn.deferred[:0]
 	sn.inStep = true
 	sn.node.Step(ev)
 	sn.inStep = false
 
 	cost := sn.net.cfg.CostModel.DispatchCost
 	if sn.meter != nil {
-		cost += sn.meter.TakeWindow().Cost(sn.net.cfg.CostModel)
+		sn.stepWindow.Add(sn.meter.TakeWindow())
 	}
+	cost += sn.stepWindow.Cost(sn.net.cfg.CostModel)
 	now := sn.net.eng.Now()
 	done := now + cost
 	sn.stats.CPUBusy += cost
 	sn.cpuFreeAt = done
+
+	// Deferred crypto starts once the submitting Step completes, runs
+	// on the sign or verify unit (each FIFO, both concurrent with the
+	// event loop and each other), and re-enters the CPU queue as an
+	// smr.Async event when its unit finishes it.
+	for i := range sn.deferred {
+		dj := sn.deferred[i]
+		work := dj.window.Cost(sn.net.cfg.CostModel)
+		elapsed := dj.window.Elapsed(sn.net.cfg.CostModel)
+		unit := &sn.verifyFreeAt
+		if dj.window.Signs > 0 {
+			unit = &sn.signFreeAt
+		}
+		start := done
+		if *unit > start {
+			start = *unit
+		}
+		finish := start + elapsed
+		*unit = finish
+		sn.stats.CPUBusy += work
+		sn.stats.AsyncBusy += work
+		sn.stats.AsyncJobs++
+		gen := sn.gen
+		apply := dj.apply
+		kind := dj.kind
+		sn.net.eng.At(finish, func() {
+			if sn.crashed || sn.gen != gen {
+				return // the submitting incarnation is gone
+			}
+			sn.enqueue(smr.Async{Kind: kind, Apply: apply})
+		})
+	}
+	sn.deferred = sn.deferred[:0]
 
 	// Outgoing messages leave once processing completes, then
 	// serialize on the egress link.

@@ -1,0 +1,113 @@
+package smr
+
+import (
+	"testing"
+	"time"
+)
+
+// deferNode starts one slow deferred job plus a short timer and
+// records the order in which the loop sees their events.
+type deferNode struct {
+	env     Env
+	workGo  chan struct{} // closed when work starts
+	done    chan string   // event order as seen by Step
+	workDur time.Duration
+}
+
+func (n *deferNode) Init(env Env) { n.env = env }
+func (n *deferNode) Step(ev Event) {
+	switch ev := ev.(type) {
+	case Start:
+		n.env.Defer("slow-verify",
+			func() {
+				close(n.workGo)
+				time.Sleep(n.workDur)
+			},
+			func() { n.done <- "async" })
+		n.env.SetTimer(time.Millisecond, "tick")
+	case TimerFired:
+		n.done <- "timer:" + ev.Kind
+	case Async:
+		ev.Apply()
+	}
+}
+
+// TestLiveDeferDoesNotDelayTimers is the event-loop liveness property
+// the async crypto pipeline exists for: a slow deferred job must not
+// delay timer delivery. Before the pipeline, a handler performing the
+// same work inline would have stalled the loop past the timer.
+func TestLiveDeferDoesNotDelayTimers(t *testing.T) {
+	rt := NewLiveRuntime()
+	node := &deferNode{
+		workGo:  make(chan struct{}),
+		done:    make(chan string, 2),
+		workDur: 300 * time.Millisecond,
+	}
+	rt.AddNode(0, node)
+	rt.Start()
+	defer rt.Stop()
+
+	select {
+	case <-node.workGo:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deferred work never started")
+	}
+	var order []string
+	for i := 0; i < 2; i++ {
+		select {
+		case ev := <-node.done:
+			order = append(order, ev)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("saw only %v", order)
+		}
+	}
+	if order[0] != "timer:tick" || order[1] != "async" {
+		t.Fatalf("event order = %v, want the timer before the slow completion", order)
+	}
+}
+
+// stopDeferNode defers work that outlives the runtime.
+type stopDeferNode struct {
+	env     Env
+	release chan struct{}
+}
+
+func (n *stopDeferNode) Init(env Env) { n.env = env }
+func (n *stopDeferNode) Step(ev Event) {
+	switch ev := ev.(type) {
+	case Start:
+		n.env.Defer("outlives-runtime",
+			func() { <-n.release },
+			func() {})
+	case Async:
+		ev.Apply()
+	}
+}
+
+// TestLiveDeferStop: Stop waits for in-flight deferred work without
+// deadlocking — the completion's blocking inbox send must yield to
+// shutdown. (Whether a completion racing Stop still reaches Step is
+// intentionally unspecified, like a message arriving mid-shutdown.)
+func TestLiveDeferStop(t *testing.T) {
+	rt := NewLiveRuntime()
+	node := &stopDeferNode{release: make(chan struct{})}
+	rt.AddNode(0, node)
+	rt.Start()
+
+	stopped := make(chan struct{})
+	go func() {
+		rt.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		t.Fatal("Stop returned while deferred work was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(node.release)
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked on in-flight deferred work")
+	}
+}

@@ -175,4 +175,23 @@ func (ln *liveNode) SetTimer(d time.Duration, kind string) TimerID {
 // CancelTimer implements Env.
 func (ln *liveNode) CancelTimer(id TimerID) { ln.timers.Cancel(id) }
 
+// Defer implements Env: work runs on its own goroutine — typically
+// fanning out further through a crypto worker pool — and the completion
+// re-enters the node's loop as an Async event. Like TimerFired events,
+// completions are never dropped on a full inbox: protocol state
+// machines track in-flight deferred work, and a silently lost
+// completion would strand that bookkeeping forever. The send blocks
+// until the inbox drains or the node stops.
+func (ln *liveNode) Defer(kind string, work func(), apply func()) {
+	ln.rt.wg.Add(1)
+	go func() {
+		defer ln.rt.wg.Done()
+		work()
+		select {
+		case ln.inbox <- Async{Kind: kind, Apply: apply}:
+		case <-ln.stop:
+		}
+	}()
+}
+
 var _ Env = (*liveNode)(nil)

@@ -44,6 +44,24 @@ type Message interface {
 	WireSize() int
 }
 
+// BulkMessage is optionally implemented by messages whose delivery may
+// lag protocol-critical traffic. Transports with bounded send queues
+// shed bulk messages (lazy replication, state transfer) before
+// protocol-critical ones (view change, suspect, commit votes) and may
+// let critical messages overtake queued bulk traffic. Messages that do
+// not implement the interface — or return false — are critical.
+type BulkMessage interface {
+	Message
+	// Bulk reports whether the message is background traffic.
+	Bulk() bool
+}
+
+// IsBulk reports whether m is marked as bulk background traffic.
+func IsBulk(m Message) bool {
+	b, ok := m.(BulkMessage)
+	return ok && b.Bulk()
+}
+
 // Event is delivered to a Node's Step method.
 type Event interface{ isEvent() }
 
@@ -71,10 +89,21 @@ type Start struct{}
 // call the client's Invoke method directly from event context instead.
 type Invoke struct{ Op []byte }
 
+// Async is the completion of off-loop work started through Env.Defer.
+// It re-enters the node through Step like any other event, so protocol
+// state stays confined to the event loop: the work function ran
+// elsewhere (or at another virtual time), and Apply publishes its
+// results. Kind labels the work for debugging and runtime accounting.
+type Async struct {
+	Kind  string
+	Apply func()
+}
+
 func (Recv) isEvent()       {}
 func (TimerFired) isEvent() {}
 func (Start) isEvent()      {}
 func (Invoke) isEvent()     {}
+func (Async) isEvent()      {}
 
 // Env is the interface a node uses to act on the world. Implementations
 // are provided by the runtimes; protocol code must not assume anything
@@ -94,6 +123,17 @@ type Env interface {
 	// CancelTimer prevents a pending timer from firing. Cancelling an
 	// already-fired or unknown timer is a no-op.
 	CancelTimer(id TimerID)
+	// Defer runs work off the event loop and then delivers
+	// Async{Kind: kind, Apply: apply} back into Step. work must not
+	// touch node state (it typically performs cryptography over data
+	// captured at submission); apply runs on the event loop and
+	// publishes the results. Completions are never dropped, but they
+	// are asynchronous: other events — including a view change — may be
+	// processed between Defer and the Async delivery, so apply must
+	// re-validate any state it depends on. Runtimes without off-loop
+	// execution (unit-test stubs) may run work and apply synchronously
+	// before returning.
+	Defer(kind string, work func(), apply func())
 }
 
 // Node is an event-driven protocol participant (replica or client).

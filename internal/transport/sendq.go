@@ -7,17 +7,27 @@ import (
 )
 
 // sendQueue is the bounded per-peer outbox feeding a connection's
-// writer goroutine. When the queue is full the oldest queued message is
-// dropped and counted — backpressure against slow or down peers without
-// either blocking the replica event loop or losing messages silently.
-// The protocols tolerate loss by design; what matters is that loss is
-// bounded, biased toward stale messages, and observable.
+// writer goroutine. When the queue is full a queued message is dropped
+// and counted — backpressure against slow or down peers without either
+// blocking the replica event loop or losing messages silently. The
+// protocols tolerate loss by design; what matters is that loss is
+// bounded, biased toward stale and low-value messages, and observable.
+//
+// Messages are split into two classes. Critical traffic (everything by
+// default: view change, suspect, commit votes, prepares) is served
+// first and is never evicted to make room for bulk. Bulk traffic
+// (messages marked smr.BulkMessage: lazy replication, state transfer)
+// rides along while there is room: when the queue overflows, the
+// oldest bulk message is evicted first, so a lazy-replication burst to
+// a slow peer cannot crowd out the view change trying to reach it —
+// and a protocol-critical burst sheds the queued bulk backlog rather
+// than its own tail.
 type sendQueue struct {
-	mu    sync.Mutex
-	buf   []smr.Message // ring buffer
-	head  int
-	count int
-	drops uint64
+	mu       sync.Mutex
+	critical msgRing
+	bulk     msgRing
+	capacity int
+	drops    uint64
 
 	// notify wakes the writer when the queue transitions towards
 	// non-empty; capacity 1 coalesces bursts.
@@ -26,23 +36,37 @@ type sendQueue struct {
 
 func newSendQueue(capacity int) *sendQueue {
 	return &sendQueue{
-		buf:    make([]smr.Message, capacity),
-		notify: make(chan struct{}, 1),
+		capacity: capacity,
+		notify:   make(chan struct{}, 1),
 	}
 }
 
-// push enqueues m, evicting the oldest queued message if the queue is
-// full. It never blocks.
+// push enqueues m, evicting a queued message if the queue is full:
+// the oldest bulk message when any bulk is queued, otherwise the
+// oldest message of m's own class. It never blocks.
 func (q *sendQueue) push(m smr.Message) {
+	bulk := smr.IsBulk(m)
 	q.mu.Lock()
-	if q.count == len(q.buf) {
-		q.buf[q.head] = nil
-		q.head = (q.head + 1) % len(q.buf)
-		q.count--
+	if q.critical.len()+q.bulk.len() >= q.capacity {
+		switch {
+		case q.bulk.len() > 0:
+			q.bulk.popFront()
+		case bulk:
+			// No bulk to shed and the newcomer is bulk itself: shed it
+			// rather than displace critical traffic.
+			q.drops++
+			q.mu.Unlock()
+			return
+		default:
+			q.critical.popFront()
+		}
 		q.drops++
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = m
-	q.count++
+	if bulk {
+		q.bulk.push(m)
+	} else {
+		q.critical.push(m)
+	}
 	q.mu.Unlock()
 	select {
 	case q.notify <- struct{}{}:
@@ -50,25 +74,25 @@ func (q *sendQueue) push(m smr.Message) {
 	}
 }
 
-// pop dequeues the oldest message, reporting false on an empty queue.
+// pop dequeues the oldest critical message, falling back to bulk, and
+// reports false on an empty queue.
 func (q *sendQueue) pop() (smr.Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.count == 0 {
-		return nil, false
+	if q.critical.len() > 0 {
+		return q.critical.popFront(), true
 	}
-	m := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
-	q.count--
-	return m, true
+	if q.bulk.len() > 0 {
+		return q.bulk.popFront(), true
+	}
+	return nil, false
 }
 
 // empty reports whether the queue currently holds no messages.
 func (q *sendQueue) empty() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.count == 0
+	return q.critical.len()+q.bulk.len() == 0
 }
 
 // countDrops records n messages lost outside the queue itself (e.g.
@@ -84,5 +108,37 @@ func (q *sendQueue) countDrops(n uint64) {
 func (q *sendQueue) stats() (depth int, drops uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.count, q.drops
+	return q.critical.len() + q.bulk.len(), q.drops
+}
+
+// msgRing is a growable FIFO ring of messages. It grows on demand up
+// to whatever the sendQueue's shared capacity admits, so neither class
+// reserves space it is not using.
+type msgRing struct {
+	buf   []smr.Message
+	head  int
+	count int
+}
+
+func (r *msgRing) len() int { return r.count }
+
+func (r *msgRing) push(m smr.Message) {
+	if r.count == len(r.buf) {
+		grown := make([]smr.Message, max(8, 2*len(r.buf)))
+		for i := 0; i < r.count; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = m
+	r.count++
+}
+
+func (r *msgRing) popFront() smr.Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return m
 }

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+type prioMsg struct {
+	name string
+	bulk bool
+}
+
+func (m prioMsg) Type() string  { return m.name }
+func (m prioMsg) WireSize() int { return 64 }
+func (m prioMsg) Bulk() bool    { return m.bulk }
+
+func drainQueue(q *sendQueue) []string {
+	var out []string
+	for {
+		m, ok := q.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, m.Type())
+	}
+}
+
+// TestSendQueueCriticalFirst: critical messages are served before
+// queued bulk traffic regardless of arrival order.
+func TestSendQueueCriticalFirst(t *testing.T) {
+	q := newSendQueue(8)
+	q.push(prioMsg{name: "lazy-1", bulk: true})
+	q.push(prioMsg{name: "vc-1"})
+	q.push(prioMsg{name: "lazy-2", bulk: true})
+	q.push(prioMsg{name: "vc-2"})
+	got := drainQueue(q)
+	want := []string{"vc-1", "vc-2", "lazy-1", "lazy-2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("drain order = %v, want %v", got, want)
+	}
+}
+
+// TestSendQueueEvictsBulkFirst: overflow sheds the oldest bulk message
+// before touching critical traffic, so a lazy-replication backlog to a
+// slow peer cannot crowd out a view change.
+func TestSendQueueEvictsBulkFirst(t *testing.T) {
+	q := newSendQueue(4)
+	for i := 0; i < 3; i++ {
+		q.push(prioMsg{name: fmt.Sprintf("lazy-%d", i), bulk: true})
+	}
+	q.push(prioMsg{name: "commit-0"})
+	// Queue full (3 bulk + 1 critical): four critical arrivals must
+	// evict all three bulk messages, then one of their own.
+	for i := 1; i <= 4; i++ {
+		q.push(prioMsg{name: fmt.Sprintf("commit-%d", i)})
+	}
+	got := drainQueue(q)
+	want := []string{"commit-1", "commit-2", "commit-3", "commit-4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("drain = %v, want %v (oldest critical evicted only after all bulk)", got, want)
+	}
+	if _, drops := q.stats(); drops != 4 {
+		t.Errorf("drops = %d, want 4", drops)
+	}
+}
+
+// TestSendQueueBulkNeverDisplacesCritical: when the queue is full of
+// critical traffic, an arriving bulk message is shed itself.
+func TestSendQueueBulkNeverDisplacesCritical(t *testing.T) {
+	q := newSendQueue(3)
+	for i := 0; i < 3; i++ {
+		q.push(prioMsg{name: fmt.Sprintf("vc-%d", i)})
+	}
+	q.push(prioMsg{name: "lazy", bulk: true})
+	got := drainQueue(q)
+	want := []string{"vc-0", "vc-1", "vc-2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("drain = %v, want %v", got, want)
+	}
+	if _, drops := q.stats(); drops != 1 {
+		t.Errorf("drops = %d, want 1 (the bulk arrival itself)", drops)
+	}
+}
+
+// TestSendQueueStatsAndEmpty: depth covers both classes.
+func TestSendQueueStatsAndEmpty(t *testing.T) {
+	q := newSendQueue(8)
+	if !q.empty() {
+		t.Fatal("fresh queue not empty")
+	}
+	q.push(prioMsg{name: "a"})
+	q.push(prioMsg{name: "b", bulk: true})
+	if depth, _ := q.stats(); depth != 2 {
+		t.Fatalf("depth = %d, want 2", depth)
+	}
+	if q.empty() {
+		t.Fatal("queue with messages reports empty")
+	}
+	drainQueue(q)
+	if !q.empty() {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+// TestBulkMarkerWiring: the xpaxos lazy-replication messages classify
+// as bulk while protocol-critical ones keep default priority. Checked
+// here because the transport is what acts on the marker.
+func TestBulkMarkerWiring(t *testing.T) {
+	for _, m := range []smr.Message{&xpaxos.MsgLazyCommit{}, &xpaxos.MsgLazyChk{}} {
+		if !smr.IsBulk(m) {
+			t.Errorf("%s not marked bulk", m.Type())
+		}
+	}
+	for _, m := range []smr.Message{&xpaxos.MsgSuspect{}, &xpaxos.MsgViewChange{}, &xpaxos.MsgCommit{}, &xpaxos.MsgPrepare{}} {
+		if smr.IsBulk(m) {
+			t.Errorf("protocol-critical %s classified bulk", m.Type())
+		}
+	}
+}

@@ -477,6 +477,24 @@ func (n *Node) SetTimer(d time.Duration, kind string) smr.TimerID {
 // CancelTimer implements smr.Env.
 func (n *Node) CancelTimer(id smr.TimerID) { n.timers.Cancel(id) }
 
+// Defer implements smr.Env: work runs on its own goroutine and the
+// completion re-enters the node's loop as an smr.Async event. Like
+// timers, completions are never dropped on a full inbox — protocol
+// state machines track deferred work in flight, and losing a
+// completion would strand that bookkeeping — so the send blocks until
+// the loop drains it or the node stops.
+func (n *Node) Defer(kind string, work func(), apply func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		work()
+		select {
+		case n.inbox <- smr.Async{Kind: kind, Apply: apply}:
+		case <-n.ctx.Done():
+		}
+	}()
+}
+
 var _ smr.Env = (*Node)(nil)
 
 // ParsePeers parses "0=host:port,1=host:port,..." into a peer map.

@@ -51,6 +51,17 @@ func (r *Replica) InjectWipeState() {
 	r.replies = make(replyCache)
 	r.queued = make(map[watchKey]crypto.Digest)
 	r.intake.reset()
+	// In-flight async crypto is volatile too. Completions already
+	// submitted may still fire (the view did not change), but they find
+	// empty bookkeeping and at worst make the replica emit messages a
+	// faulty machine could emit anyway.
+	r.intakeQ = nil
+	r.entryVerifying = make(map[smr.SeqNum]bool)
+	r.orderVerifying = make(map[orderKey]bool)
+	r.replySigning = make(map[watchKey]bool)
+	r.replySignVerifying = make(map[replySigID]bool)
+	r.fwdPending = nil
+	r.fwdInFlight = false
 }
 
 // InjectForkPrepare replaces the prepare-log entry at sn with a forged

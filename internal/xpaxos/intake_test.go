@@ -41,6 +41,15 @@ func (e *stubEnv) SetTimer(d time.Duration, kind string) smr.TimerID {
 }
 func (e *stubEnv) CancelTimer(id smr.TimerID) { delete(e.timers, id) }
 
+// Defer runs synchronously: the stub has no off-loop execution, which
+// the Env contract permits, and it keeps hand-stepped tests
+// deterministic (every handler's effects are visible when Step
+// returns). asyncEnv in async_test.go covers deferred delivery.
+func (e *stubEnv) Defer(kind string, work func(), apply func()) {
+	work()
+	apply()
+}
+
 // lastTimer returns the most recent pending timer of the given kind.
 func (e *stubEnv) lastTimer(kind string) (smr.TimerID, bool) {
 	var best smr.TimerID

@@ -138,10 +138,17 @@ func (o *Order) wireSize() int { return 1 + 32 + 8 + 8 + 8 + 32 + len(o.Sig) }
 // signOrder builds and signs an order record.
 func signOrder(suite crypto.Suite, kind OrderKind, d crypto.Digest, sn smr.SeqNum, v smr.View, from smr.NodeID, repRoot crypto.Digest) Order {
 	o := Order{Kind: kind, BatchD: d, SN: sn, View: v, From: from, RepRoot: repRoot}
-	w := wire.Get()
-	o.Sig = suite.Sign(crypto.NodeID(from), o.appendSigPayload(w))
-	wire.Put(w)
+	signOrderInto(suite, &o)
 	return o
+}
+
+// signOrderInto fills o.Sig in place. The async signing paths build
+// the unsigned order on the event loop and run only this call
+// off-loop.
+func signOrderInto(suite crypto.Suite, o *Order) {
+	w := wire.Get()
+	o.Sig = suite.Sign(crypto.NodeID(o.From), o.appendSigPayload(w))
+	wire.Put(w)
 }
 
 // verifyOrder checks an order's signature.
@@ -609,6 +616,10 @@ func (m *MsgLazyChk) Type() string { return "lazychk" }
 // WireSize implements smr.Message.
 func (m *MsgLazyChk) WireSize() int { return msgHeader + m.Proof.wireSize() }
 
+// Bulk implements smr.BulkMessage: checkpoint propagation to passive
+// replicas is background traffic the transport may shed first.
+func (m *MsgLazyChk) Bulk() bool { return true }
+
 // MsgLazyCommit lazily replicates one commit-log entry to a passive
 // replica (Section 4.5.2).
 type MsgLazyCommit struct{ Entry CommitEntry }
@@ -618,6 +629,12 @@ func (m *MsgLazyCommit) Type() string { return "lazy-commit" }
 
 // WireSize implements smr.Message.
 func (m *MsgLazyCommit) WireSize() int { return msgHeader + m.Entry.wireSize() }
+
+// Bulk implements smr.BulkMessage: lazy replication is best-effort
+// background traffic (Section 4.5.2) — passive replicas recover any
+// shed entry from the next checkpoint — so a bounded send queue sheds
+// it before protocol-critical messages.
+func (m *MsgLazyCommit) Bulk() bool { return true }
 
 // ---------------------------------------------------------------------------
 // Fault-detection proof messages (Algorithm 6)

@@ -85,6 +85,38 @@ type Replica struct {
 	// requests, certificates) across workers; nil verifies serially.
 	verifyPool *crypto.Pool
 
+	// Async crypto pipeline (on unless cfg.DisableAsyncCrypto). The
+	// hot-path handlers split into a dispatch half that submits
+	// signature work through goCrypto and a complete half that applies
+	// the results when the smr.Async completion re-enters Step; the
+	// fields below track work in flight. All of them are reset by
+	// enterView: completions submitted under an older (view, status)
+	// epoch are discarded by goCrypto's guard.
+	asyncCrypto bool
+	// intakeQ holds the primary's in-flight intake verifications,
+	// retired strictly in dispatch order (see retireIntake) so a
+	// client's pipelined requests keep their arrival order even when
+	// verifications complete out of order.
+	intakeQ []*intakeVerify
+	// entryVerifying marks sequence numbers whose prepare entry is
+	// being verified off-loop, so a duplicate delivery is not verified
+	// twice.
+	entryVerifying map[smr.SeqNum]bool
+	// orderVerifying dedupes in-flight commit-order verifications.
+	orderVerifying map[orderKey]bool
+	// replySigning marks watch keys whose ReplySig is being signed.
+	replySigning map[watchKey]bool
+	// replySignVerifying dedupes and bounds in-flight reply-sign
+	// verifications: the retransmission path is driven by unsolicited
+	// peer messages, so without a cap a faulty active replica could
+	// spawn one off-loop verification per flooded message.
+	replySignVerifying map[replySigID]bool
+	// fwdPending accumulates client requests a follower has yet to
+	// verify before forwarding; one batch verifies off-loop at a time
+	// (fwdInFlight), and arrivals meanwhile form the next batch.
+	fwdPending  []Request
+	fwdInFlight bool
+
 	// Client bookkeeping: at-most-once execution and reply cache.
 	lastExec map[smr.NodeID]execMark
 	replies  replyCache
@@ -133,6 +165,34 @@ type suspectKey struct {
 	From smr.NodeID
 }
 
+// orderKey identifies one follower's commit order for one sequence
+// number (in-flight verification dedupe).
+type orderKey struct {
+	SN   smr.SeqNum
+	From smr.NodeID
+}
+
+// replySigID identifies one replica's signed-reply record for one
+// watched request (in-flight verification dedupe).
+type replySigID struct {
+	Client smr.NodeID
+	TS     uint64
+	From   smr.NodeID
+}
+
+// maxReplySignVerifying bounds concurrent off-loop reply-sign
+// verifications; floods beyond it are dropped (the retransmission
+// protocol re-offers anything that mattered).
+const maxReplySignVerifying = 256
+
+// intakeVerify is one drained slice of candidate requests whose client
+// signatures are checked off-loop before batch assignment.
+type intakeVerify struct {
+	cand     []Request
+	verdicts []bool
+	done     bool
+}
+
 type faultID struct {
 	Culprit smr.NodeID
 	Kind    string
@@ -144,32 +204,37 @@ type faultID struct {
 func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 	cfg = cfg.withDefaults()
 	r := &Replica{
-		cfg:            cfg,
-		id:             id,
-		n:              cfg.N,
-		t:              cfg.T,
-		suite:          cfg.Suite,
-		app:            app,
-		prepareLog:     make(map[smr.SeqNum]*PrepareEntry),
-		commitLog:      make(map[smr.SeqNum]*CommitEntry),
-		pendingCommits: make(map[smr.SeqNum]map[smr.NodeID]Order),
-		pendingEntries: make(map[smr.SeqNum]*PrepareEntry),
-		lastExec:       make(map[smr.NodeID]execMark),
-		replies:        make(replyCache),
-		queued:         make(map[watchKey]crypto.Digest),
-		watches:        make(map[watchKey]*watchState),
-		watchTimers:    make(map[smr.TimerID]watchKey),
-		prechkVotes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
-		chkptVotes:     make(map[smr.SeqNum]map[smr.NodeID]ChkptRecord),
-		seenSuspects:   make(map[suspectKey]bool),
-		futureVC:       make(map[smr.View]map[smr.NodeID]*MsgViewChange),
-		futureFinal:    make(map[smr.View]map[smr.NodeID]*MsgVCFinal),
-		futureNV:       make(map[smr.View]*MsgNewView),
-		finalProofs:    make(map[smr.View][]MsgVCConfirm),
-		agreedVCSet:    make(map[smr.View]map[vcKey]*MsgViewChange),
-		fset:           make(map[smr.NodeID]bool),
-		convicted:      make(map[faultID]bool),
+		cfg:                cfg,
+		id:                 id,
+		n:                  cfg.N,
+		t:                  cfg.T,
+		suite:              cfg.Suite,
+		app:                app,
+		prepareLog:         make(map[smr.SeqNum]*PrepareEntry),
+		commitLog:          make(map[smr.SeqNum]*CommitEntry),
+		pendingCommits:     make(map[smr.SeqNum]map[smr.NodeID]Order),
+		pendingEntries:     make(map[smr.SeqNum]*PrepareEntry),
+		lastExec:           make(map[smr.NodeID]execMark),
+		replies:            make(replyCache),
+		queued:             make(map[watchKey]crypto.Digest),
+		watches:            make(map[watchKey]*watchState),
+		watchTimers:        make(map[smr.TimerID]watchKey),
+		prechkVotes:        make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
+		chkptVotes:         make(map[smr.SeqNum]map[smr.NodeID]ChkptRecord),
+		seenSuspects:       make(map[suspectKey]bool),
+		futureVC:           make(map[smr.View]map[smr.NodeID]*MsgViewChange),
+		futureFinal:        make(map[smr.View]map[smr.NodeID]*MsgVCFinal),
+		futureNV:           make(map[smr.View]*MsgNewView),
+		finalProofs:        make(map[smr.View][]MsgVCConfirm),
+		agreedVCSet:        make(map[smr.View]map[vcKey]*MsgViewChange),
+		fset:               make(map[smr.NodeID]bool),
+		convicted:          make(map[faultID]bool),
+		entryVerifying:     make(map[smr.SeqNum]bool),
+		orderVerifying:     make(map[orderKey]bool),
+		replySigning:       make(map[watchKey]bool),
+		replySignVerifying: make(map[replySigID]bool),
 	}
+	r.asyncCrypto = !cfg.DisableAsyncCrypto
 	r.intake.init(cfg.IntakeQueueCap, cfg.IntakePerClient)
 	switch {
 	case cfg.VerifyWorkers == 1:
@@ -211,7 +276,37 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onTimer(e)
 	case smr.Recv:
 		r.onRecv(e.From, e.Msg)
+	case smr.Async:
+		e.Apply() // completion of off-loop crypto (see goCrypto)
 	}
+}
+
+// goCrypto runs work off the event loop through the runtime's async
+// pipeline (Env.Defer) and applies its results back on the loop. The
+// completion is dropped if the replica has left the epoch it was
+// submitted in: a view change invalidates in-flight verifications and
+// signatures, whose outputs name the dead view. The epoch is the view
+// plus "currently in normal operation" — within one view the only
+// status transition is view-change → normal (starting a view change
+// always bumps the view), so a completion dispatched mid-view-change
+// (a follower forward verification, a reply signature from the
+// new-view re-commit) legitimately applies once that same view's
+// change completes, while anything from an older view is discarded.
+// With async crypto disabled both halves run inline, preserving the
+// classic synchronous Step semantics.
+func (r *Replica) goCrypto(kind string, work func(), apply func()) {
+	if !r.asyncCrypto {
+		work()
+		apply()
+		return
+	}
+	view := r.view
+	r.env.Defer(kind, work, func() {
+		if r.view != view || r.status != statusNormal {
+			return // stale completion from a dead view
+		}
+		apply()
+	})
 }
 
 func (r *Replica) onTimer(e smr.TimerFired) {
@@ -359,14 +454,19 @@ func (r *Replica) onRequest(from smr.NodeID, req Request, forwarded bool) {
 			// signature before relaying, so a forged-request blast is
 			// absorbed here instead of being amplified into the
 			// primary's intake (ROADMAP: request-intake hardening).
-			// Batch verification keeps the per-request cost of this
-			// guard low on the batched paths; a lone forward costs one
-			// single verification.
-			if !r.verifyRequest(&req) {
+			// Arrivals accumulate while a verification batch is in
+			// flight and scatter through the batch verifier together
+			// (verifyForwards), so the per-request edge cost shrinks
+			// under exactly the loads that need it; a lone forward
+			// still verifies — and forwards — immediately.
+			if len(r.fwdPending) >= r.cfg.IntakeQueueCap {
+				// The unverified backlog is as bounded as the intake
+				// queue; overflow is shed and counted like a forgery.
 				r.intake.forwardDropped.Add(1)
 				return
 			}
-			r.env.Send(r.primary(), &MsgReplicate{Req: req})
+			r.fwdPending = append(r.fwdPending, req)
+			r.verifyForwards()
 		}
 		return
 	}
@@ -415,6 +515,39 @@ func (r *Replica) verifyRequest(req *Request) bool {
 	return ok
 }
 
+// verifyForwards drains the follower's pending forward backlog through
+// the crypto pipeline, one batch in flight at a time: requests
+// arriving while a batch verifies accumulate into the next one, so
+// bursts amortize across one batch-verifier pass with no added timer
+// or latency for a lone request. Valid requests are relayed to the
+// primary; invalid ones are shed and counted.
+func (r *Replica) verifyForwards() {
+	if r.fwdInFlight || len(r.fwdPending) == 0 {
+		return
+	}
+	cand := r.fwdPending
+	r.fwdPending = nil
+	r.fwdInFlight = true
+	b := newSigBatch(len(cand))
+	for i := range cand {
+		b.add(crypto.NodeID(cand[i].Client), cand[i].Sig, cand[i].appendSigPayload)
+	}
+	var verdicts []bool
+	r.goCrypto("verify-forward",
+		func() { verdicts = b.verifyEach(r.verifyPool, r.suite) },
+		func() {
+			r.fwdInFlight = false
+			for i, ok := range verdicts {
+				if !ok {
+					r.intake.forwardDropped.Add(1)
+					continue
+				}
+				r.env.Send(r.primary(), &MsgReplicate{Req: cand[i]})
+			}
+			r.verifyForwards()
+		})
+}
+
 // inFlight returns the number of sequence numbers the replica has
 // assigned but not yet executed — the occupied pipeline slots at the
 // primary.
@@ -438,30 +571,27 @@ func (r *Replica) MaxInFlight() int { return r.maxInFlight }
 const pipelineKeepBusy = 2
 
 // flushBatches drains pending requests into sequence-numbered
-// proposals, keeping at most PipelineWindow batches in flight.
-// Batch formation is adaptive: a full batch is proposed whenever the
-// window has room; a partial batch is proposed immediately while the
-// pipeline is hungry (fewer than pipelineKeepBusy batches in flight),
-// and otherwise waits to fill until the batch timer forces it out
-// (force=true). Under load, backpressure grows batches naturally:
-// requests accumulate while the window is busy and drain into one
-// proposal when a slot frees.
+// proposals, keeping at most PipelineWindow batches in flight — where
+// "in flight" counts both assigned sequence numbers and batches still
+// in signature verification (intakeQ). Batch formation is adaptive: a
+// full batch is dispatched whenever the window has room; a partial
+// batch is dispatched immediately while the pipeline is hungry (fewer
+// than pipelineKeepBusy batches in flight), and otherwise waits to
+// fill until the batch timer forces it out (force=true). Under load,
+// backpressure grows batches naturally: requests accumulate while the
+// window is busy and drain into one proposal when a slot frees.
 func (r *Replica) flushBatches(force bool) {
 	if r.status != statusNormal || !r.isPrimary() {
 		return
 	}
-	for r.intake.size() > 0 && r.inFlight() < r.cfg.PipelineWindow {
-		if r.intake.size() < r.cfg.BatchSize && !force && r.inFlight() >= pipelineKeepBusy {
+	for r.intake.size() > 0 && r.inFlight()+len(r.intakeQ) < r.cfg.PipelineWindow {
+		if r.intake.size() < r.cfg.BatchSize && !force && r.inFlight()+len(r.intakeQ) >= pipelineKeepBusy {
 			break // partial batch and both stages are busy: let it fill
 		}
 		// Drain round-robin across clients: under overload every
 		// client lands requests in each batch instead of the queue
 		// head's owner monopolizing it.
-		reqs := r.verifyIntake(r.intake.drain(r.cfg.BatchSize))
-		if len(reqs) == 0 {
-			continue // nothing valid survived; try the next slice
-		}
-		r.assignBatch(Batch{Reqs: reqs})
+		r.dispatchIntake(r.intake.drain(r.cfg.BatchSize))
 		force = false
 	}
 	// Anything left waits for more requests, a commit that frees a
@@ -469,6 +599,61 @@ func (r *Replica) flushBatches(force bool) {
 	if r.intake.size() > 0 && !r.batchTimerSet {
 		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
 		r.batchTimerSet = true
+	}
+}
+
+// dispatchIntake submits the candidates' client-signature checks —
+// deferred from arrival so the whole batch verifies in one parallel
+// scatter — and queues the batch for in-order retirement. While the
+// batch verifies off-loop, the loop is free to assemble the next one:
+// verification of batch k+1 overlaps signing and assembly of batch k.
+func (r *Replica) dispatchIntake(cand []Request) {
+	iv := &intakeVerify{cand: cand}
+	r.intakeQ = append(r.intakeQ, iv)
+	b := newSigBatch(len(cand))
+	for i := range cand {
+		b.add(crypto.NodeID(cand[i].Client), cand[i].Sig, cand[i].appendSigPayload)
+	}
+	r.goCrypto("verify-intake",
+		func() { iv.verdicts = b.verifyEach(r.verifyPool, r.suite) },
+		func() {
+			iv.done = true
+			r.retireIntake()
+		})
+}
+
+// retireIntake assigns sequence numbers to verified intake batches in
+// dispatch order. Completions may arrive out of order; retiring only
+// the done prefix keeps batch order equal to drain order, so a
+// client's pipelined requests never reorder. An invalid request is
+// dropped and its queued marker cleared, so a later valid
+// retransmission from the same client is not mistaken for a duplicate.
+func (r *Replica) retireIntake() {
+	retired := false
+	for len(r.intakeQ) > 0 && r.intakeQ[0].done {
+		iv := r.intakeQ[0]
+		r.intakeQ = r.intakeQ[1:]
+		retired = true
+		reqs := make([]Request, 0, len(iv.cand))
+		for i, ok := range iv.verdicts {
+			if !ok {
+				// Clear the marker only if it is this copy's: a valid
+				// copy queued alongside keeps its own mark.
+				key := watchKey{Client: iv.cand[i].Client, TS: iv.cand[i].TS}
+				if r.queued[key] == crypto.Hash(iv.cand[i].Sig) {
+					delete(r.queued, key)
+				}
+				continue
+			}
+			reqs = append(reqs, iv.cand[i])
+		}
+		if len(reqs) > 0 {
+			r.assignBatch(Batch{Reqs: reqs})
+		}
+	}
+	if retired {
+		// Retirement freed window slots; refill them.
+		r.flushBatches(false)
 	}
 }
 
@@ -517,60 +702,38 @@ func (b *sigBatch) verifyEach(pool *crypto.Pool, suite crypto.Suite) []bool {
 	return out
 }
 
-// verifyIntake checks the candidate requests' client signatures —
-// deferred from arrival so the whole batch verifies in one parallel
-// scatter — and returns the valid ones (copied out of the pending
-// queue's backing array). An invalid request is dropped and its queued
-// marker cleared, so a later valid retransmission from the same client
-// is not mistaken for a duplicate.
-func (r *Replica) verifyIntake(cand []Request) []Request {
-	b := newSigBatch(len(cand))
-	for i := range cand {
-		b.add(crypto.NodeID(cand[i].Client), cand[i].Sig, cand[i].appendSigPayload)
-	}
-	verdicts := b.verifyEach(r.verifyPool, r.suite)
-	out := make([]Request, 0, len(cand))
-	for i, ok := range verdicts {
-		if !ok {
-			// Clear the marker only if it is this copy's: a valid copy
-			// queued alongside keeps its own mark.
-			key := watchKey{Client: cand[i].Client, TS: cand[i].TS}
-			if r.queued[key] == crypto.Hash(cand[i].Sig) {
-				delete(r.queued, key)
-			}
-			continue
-		}
-		out = append(out, cand[i])
-	}
-	return out
-}
-
 // assignBatch gives the batch the next sequence number and starts the
-// common-case protocol (Section 4.2).
+// common-case protocol (Section 4.2). The sequence number is claimed
+// on the spot — later batches may be dispatched meanwhile — while the
+// order signature is produced off-loop; the prepare ships when it
+// completes. Followers buffer out-of-order arrivals (pendingEntries),
+// so signing completions need not preserve dispatch order.
 func (r *Replica) assignBatch(batch Batch) {
 	r.sn++
 	if f := r.inFlight(); f > r.maxInFlight {
 		r.maxInFlight = f
 	}
 	sn := r.sn
-	d := batch.Digest()
+	kind := KindPrepare
 	if r.t == 1 {
-		// Figure 2b: m0 = ⟨commit, D(req), sn, i⟩σ_ps with the request.
-		m0 := signOrder(r.suite, KindCommit, d, sn, r.view, r.id, crypto.Digest{})
-		entry := &PrepareEntry{Batch: batch, Primary: m0}
-		r.prepareLog[sn] = entry
-		r.preView = r.view
-		r.env.Send(r.followers()[0], &MsgCommitReq{Entry: *entry})
-		return
+		kind = KindCommit // Figure 2b: m0 = ⟨commit, D(req), sn, i⟩σ_ps
 	}
-	// Figure 2a: prepare to all followers.
-	prep := signOrder(r.suite, KindPrepare, d, sn, r.view, r.id, crypto.Digest{})
-	entry := &PrepareEntry{Batch: batch, Primary: prep}
-	r.prepareLog[sn] = entry
-	r.preView = r.view
-	for _, f := range r.followers() {
-		r.env.Send(f, &MsgPrepare{Entry: *entry})
-	}
+	o := &Order{Kind: kind, BatchD: batch.Digest(), SN: sn, View: r.view, From: r.id}
+	r.goCrypto("sign-order",
+		func() { signOrderInto(r.suite, o) },
+		func() {
+			entry := &PrepareEntry{Batch: batch, Primary: *o}
+			r.prepareLog[sn] = entry
+			r.preView = r.view
+			if r.t == 1 {
+				r.env.Send(r.followers()[0], &MsgCommitReq{Entry: *entry})
+				return
+			}
+			// Figure 2a: prepare to all followers.
+			for _, f := range r.followers() {
+				r.env.Send(f, &MsgPrepare{Entry: *entry})
+			}
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -586,12 +749,47 @@ func (r *Replica) onCommitReq(from smr.NodeID, m *MsgCommitReq) {
 	if e.Primary.View != r.view || from != r.primary() {
 		return
 	}
-	if !r.verifyPrepareEntry(&e) {
+	r.admitPrepareEntry(&e, r.drainFollowerT1)
+}
+
+// admitPrepareEntry runs the follower's acceptance of a primary's
+// entry in two halves: the structural binding (kind, sender, batch
+// digest) checks synchronously, then the entry's signatures — the
+// primary's order plus every client request — verify off-loop as one
+// parallel scatter. A valid entry lands in pendingEntries and drain
+// processes it in sequence order, so verification of entry sn+1
+// overlaps execution and signing of entry sn.
+func (r *Replica) admitPrepareEntry(e *PrepareEntry, drain func()) {
+	sn := e.SN()
+	if sn <= r.sn || r.pendingEntries[sn] != nil || r.entryVerifying[sn] {
+		return // already processed, buffered, or in verification
+	}
+	if !r.checkPrepareEntryShape(e) {
 		r.suspect(r.view) // invalid message from an active replica
 		return
 	}
-	r.pendingEntries[e.SN()] = &e
-	r.drainFollowerT1()
+	b := newSigBatch(len(e.Batch.Reqs) + 1)
+	b.add(crypto.NodeID(e.Primary.From), e.Primary.Sig, e.Primary.appendSigPayload)
+	for i := range e.Batch.Reqs {
+		req := &e.Batch.Reqs[i]
+		b.add(crypto.NodeID(req.Client), req.Sig, req.appendSigPayload)
+	}
+	r.entryVerifying[sn] = true
+	var ok bool
+	r.goCrypto("verify-prepare",
+		func() { ok = b.verifyAll(r.verifyPool, r.suite) },
+		func() {
+			delete(r.entryVerifying, sn)
+			if !ok {
+				r.suspect(r.view)
+				return
+			}
+			if sn <= r.sn || r.pendingEntries[sn] != nil {
+				return // superseded while verifying (checkpoint adoption)
+			}
+			r.pendingEntries[sn] = e
+			drain()
+		})
 }
 
 // drainFollowerT1 processes buffered entries in sequence order.
@@ -605,22 +803,38 @@ func (r *Replica) drainFollowerT1() {
 		r.sn++
 		sn := r.sn
 		// Execute immediately (the follower runs ahead of the primary,
-		// Section 4.2.2) and sign m1 over the reply root.
+		// Section 4.2.2) and sign m1 over the reply root. Execution and
+		// the local log updates happen now, in sequence order; only the
+		// m1 signature is produced off-loop, so the next entry's
+		// execution overlaps this one's signing. The commit entry — and
+		// everything that needs it — materializes when the signature
+		// lands.
 		tss, reps := r.applyBatch(&e.Batch, sn, e.Primary.View)
 		digs := make([]crypto.Digest, len(reps))
 		for i, rep := range reps {
 			digs[i] = crypto.Hash(rep)
 		}
 		root := ReplyRoot(tss, digs)
-		m1 := signOrder(r.suite, KindCommit, e.Primary.BatchD, sn, r.view, r.id, root)
-		entry := &CommitEntry{Batch: e.Batch, Primary: e.Primary, Commits: []Order{m1}}
-		r.commitLog[sn] = entry
 		r.prepareLog[sn] = &PrepareEntry{Batch: e.Batch, Primary: e.Primary}
 		r.ex = sn
-		r.notifyCommit(entry)
-		r.env.Send(r.primary(), &MsgCommit{Order: m1})
-		r.lazyReplicate(entry)
 		r.maybeCheckpoint(sn)
+		m1 := &Order{Kind: KindCommit, BatchD: e.Primary.BatchD, SN: sn, View: r.view, From: r.id, RepRoot: root}
+		r.goCrypto("sign-order",
+			func() { signOrderInto(r.suite, m1) },
+			func() {
+				if sn <= r.chk.SN {
+					// A checkpoint stabilized past sn while signing; the
+					// primary necessarily assembled sn already, so the
+					// commit is moot and storing it would resurrect a
+					// truncated log entry.
+					return
+				}
+				entry := &CommitEntry{Batch: e.Batch, Primary: e.Primary, Commits: []Order{*m1}}
+				r.commitLog[sn] = entry
+				r.notifyCommit(entry)
+				r.env.Send(r.primary(), &MsgCommit{Order: *m1})
+				r.lazyReplicate(entry)
+			})
 	}
 }
 
@@ -637,12 +851,7 @@ func (r *Replica) onPrepare(from smr.NodeID, m *MsgPrepare) {
 	if e.Primary.View != r.view || from != r.primary() {
 		return
 	}
-	if !r.verifyPrepareEntry(&e) {
-		r.suspect(r.view)
-		return
-	}
-	r.pendingEntries[e.SN()] = &e
-	r.drainFollowerPrepares()
+	r.admitPrepareEntry(&e, r.drainFollowerPrepares)
 }
 
 func (r *Replica) drainFollowerPrepares() {
@@ -656,20 +865,33 @@ func (r *Replica) drainFollowerPrepares() {
 		sn := r.sn
 		r.prepareLog[sn] = e
 		r.preView = r.view
-		c := signOrder(r.suite, KindCommit, e.Primary.BatchD, sn, r.view, r.id, crypto.Digest{})
-		r.addCommitVote(sn, c)
-		msg := &MsgCommit{Order: c}
-		for _, id := range r.group {
-			if id != r.id {
-				r.env.Send(id, msg)
-			}
-		}
-		r.tryAssemble(sn)
+		// The commit signature is produced off-loop; the vote is
+		// recorded and broadcast when it lands. The drain keeps going
+		// meanwhile, so consecutive entries' commit signing overlaps.
+		c := &Order{Kind: KindCommit, BatchD: e.Primary.BatchD, SN: sn, View: r.view, From: r.id}
+		r.goCrypto("sign-order",
+			func() { signOrderInto(r.suite, c) },
+			func() {
+				if sn <= r.chk.SN {
+					return // checkpoint stabilized past sn while signing
+				}
+				r.addCommitVote(sn, *c)
+				msg := &MsgCommit{Order: *c}
+				for _, id := range r.group {
+					if id != r.id {
+						r.env.Send(id, msg)
+					}
+				}
+				r.tryAssemble(sn)
+			})
 	}
 }
 
 // onCommit handles a commit order: for t = 1 this is m1 at the
 // primary; for t ≥ 2 it is a follower's commit at any active replica.
+// The signature check runs off-loop; the vote is applied when it
+// lands, so a stream of commits for consecutive sequence numbers
+// verifies while earlier ones assemble and execute.
 func (r *Replica) onCommit(from smr.NodeID, m *MsgCommit) {
 	if r.status != statusNormal || !r.isActive() {
 		return
@@ -678,12 +900,31 @@ func (r *Replica) onCommit(from smr.NodeID, m *MsgCommit) {
 	if o.View != r.view || o.From != from || !r.isFollower(from) {
 		return
 	}
-	if !verifyOrder(r.suite, &o) {
-		r.suspect(r.view)
-		return
+	if votes, ok := r.pendingCommits[o.SN]; ok {
+		if _, dup := votes[o.From]; dup {
+			return // this follower's vote is already recorded
+		}
 	}
-	r.addCommitVote(o.SN, o)
-	r.tryAssemble(o.SN)
+	key := orderKey{SN: o.SN, From: o.From}
+	if r.orderVerifying[key] {
+		return // a copy is already in verification
+	}
+	r.orderVerifying[key] = true
+	var valid bool
+	r.goCrypto("verify-order",
+		func() { valid = verifyOrder(r.suite, &o) },
+		func() {
+			delete(r.orderVerifying, key)
+			if !valid {
+				r.suspect(r.view)
+				return
+			}
+			if o.SN <= r.chk.SN {
+				return // checkpoint stabilized past this entry meanwhile
+			}
+			r.addCommitVote(o.SN, o)
+			r.tryAssemble(o.SN)
+		})
 }
 
 func (r *Replica) addCommitVote(sn smr.SeqNum, o Order) {
@@ -898,10 +1139,12 @@ func (r *Replica) notifyCommit(e *CommitEntry) {
 // Entry verification
 // ---------------------------------------------------------------------------
 
-// verifyPrepareEntry checks the primary's signature, digest binding
-// and the client signatures of the batch. The signatures are
-// independent, so they scatter across the verification pool.
-func (r *Replica) verifyPrepareEntry(e *PrepareEntry) bool {
+// checkPrepareEntryShape checks everything about a primary's entry
+// that does not require public-key operations: order kind, sender role
+// and digest binding. The signatures — independent, so they scatter
+// across the verification pool — are checked by admitPrepareEntry's
+// off-loop half.
+func (r *Replica) checkPrepareEntryShape(e *PrepareEntry) bool {
 	wantKind := KindPrepare
 	if r.t == 1 {
 		wantKind = KindCommit
@@ -912,16 +1155,7 @@ func (r *Replica) verifyPrepareEntry(e *PrepareEntry) bool {
 	if e.Primary.From != Primary(r.n, r.t, e.Primary.View) {
 		return false
 	}
-	if e.Batch.Digest() != e.Primary.BatchD {
-		return false
-	}
-	b := newSigBatch(len(e.Batch.Reqs) + 1)
-	b.add(crypto.NodeID(e.Primary.From), e.Primary.Sig, e.Primary.appendSigPayload)
-	for i := range e.Batch.Reqs {
-		req := &e.Batch.Reqs[i]
-		b.add(crypto.NodeID(req.Client), req.Sig, req.appendSigPayload)
-	}
-	return b.verifyAll(r.verifyPool, r.suite)
+	return e.Batch.Digest() == e.Primary.BatchD
 }
 
 // verifyCommitEntry validates a full commit certificate: the primary's
@@ -1006,35 +1240,69 @@ func (r *Replica) onExecutedWatched(client smr.NodeID, ts uint64, sn smr.SeqNum,
 }
 
 func (r *Replica) broadcastReplySign(client smr.NodeID, ts uint64, c cachedReply) {
-	if w, ok := r.watches[watchKey{Client: client, TS: ts}]; ok {
+	key := watchKey{Client: client, TS: ts}
+	if w, ok := r.watches[key]; ok {
 		if _, mine := w.sigs[r.id]; mine {
 			return // already contributed
 		}
 	}
-	rs := ReplySig{From: r.id, SN: c.SN, View: c.View, TS: ts, Client: client, RepDigest: crypto.Hash(c.Rep)}
-	rs.Sig = r.suite.Sign(crypto.NodeID(r.id), rs.SigPayload())
-	msg := &MsgReplySign{R: rs}
-	for _, id := range r.group {
-		if id != r.id {
-			r.env.Send(id, msg)
-		}
+	if r.replySigning[key] {
+		return // our signature is already being produced off-loop
 	}
-	r.onReplySign(r.id, msg)
+	r.replySigning[key] = true
+	rs := &ReplySig{From: r.id, SN: c.SN, View: c.View, TS: ts, Client: client, RepDigest: crypto.Hash(c.Rep)}
+	r.goCrypto("sign-replysign",
+		func() { rs.Sig = r.suite.Sign(crypto.NodeID(r.id), rs.SigPayload()) },
+		func() {
+			delete(r.replySigning, key)
+			msg := &MsgReplySign{R: *rs}
+			for _, id := range r.group {
+				if id != r.id {
+					r.env.Send(id, msg)
+				}
+			}
+			r.applyReplySign(*rs) // our own signature needs no verification
+		})
 }
 
-// onReplySign collects signed replies; with t+1 matching ones the
-// bundle goes to the client. Receiving a signed reply without a local
-// watch opens a passive watch (it collects signatures but its expiry
-// never suspects the view), so signature quorums assemble even when
-// the client's retransmission only reached part of the group.
+// onReplySign receives a peer's signed reply record: the signature
+// verifies off-loop, and the record is applied when the check lands.
+// In-flight checks are deduped per (request, signer) and capped in
+// total — this path is driven by unsolicited peer messages, so it must
+// not let a flood pin one verification per message in flight.
 func (r *Replica) onReplySign(from smr.NodeID, m *MsgReplySign) {
 	rs := m.R
 	if rs.From != from {
 		return
 	}
-	if !r.suite.Verify(crypto.NodeID(rs.From), rs.SigPayload(), rs.Sig) {
-		return
+	if w, ok := r.watches[watchKey{Client: rs.Client, TS: rs.TS}]; ok {
+		if _, dup := w.sigs[rs.From]; dup {
+			return // already recorded; skip the verification
+		}
 	}
+	id := replySigID{Client: rs.Client, TS: rs.TS, From: rs.From}
+	if r.replySignVerifying[id] || len(r.replySignVerifying) >= maxReplySignVerifying {
+		return // a copy is in flight, or the path is saturated: shed
+	}
+	r.replySignVerifying[id] = true
+	var valid bool
+	r.goCrypto("verify-replysign",
+		func() { valid = r.suite.Verify(crypto.NodeID(rs.From), rs.SigPayload(), rs.Sig) },
+		func() {
+			delete(r.replySignVerifying, id)
+			if valid {
+				r.applyReplySign(rs)
+			}
+		})
+}
+
+// applyReplySign collects authenticated signed replies; with t+1
+// matching ones the bundle goes to the client. Receiving a signed
+// reply without a local watch opens a passive watch (it collects
+// signatures but its expiry never suspects the view), so signature
+// quorums assemble even when the client's retransmission only reached
+// part of the group.
+func (r *Replica) applyReplySign(rs ReplySig) {
 	key := watchKey{Client: rs.Client, TS: rs.TS}
 	w, ok := r.watches[key]
 	if !ok {
@@ -1048,11 +1316,14 @@ func (r *Replica) onReplySign(from smr.NodeID, m *MsgReplySign) {
 	}
 	w.sigs[rs.From] = rs
 	// Contribute our own signature if we executed the request and have
-	// not spoken up yet.
-	if _, mine := w.sigs[r.id]; !mine {
-		if c, okRep := r.replies.get(rs.Client, rs.TS); okRep {
-			r.broadcastReplySign(rs.Client, rs.TS, c)
-			return // re-entered through our own broadcast; quorum checked there
+	// not spoken up yet. Our signature lands asynchronously, so fall
+	// through and check the quorum with what is already here — the
+	// t+1th record, whoever supplies it, finishes the watch.
+	if rs.From != r.id {
+		if _, mine := w.sigs[r.id]; !mine {
+			if c, okRep := r.replies.get(rs.Client, rs.TS); okRep {
+				r.broadcastReplySign(rs.Client, rs.TS, c)
+			}
 		}
 	}
 	r.tryFinishWatch(w, rs.RepDigest)
@@ -1061,6 +1332,9 @@ func (r *Replica) onReplySign(from smr.NodeID, m *MsgReplySign) {
 // tryFinishWatch sends the signed-reply bundle once t+1 distinct
 // matching signatures are collected and we hold the reply payload.
 func (r *Replica) tryFinishWatch(w *watchState, digest crypto.Digest) {
+	if r.watches[w.key] != w {
+		return // the watch already finished (or was cleared)
+	}
 	matching := make([]ReplySig, 0, r.t+1)
 	for _, s := range w.sigs {
 		if s.RepDigest == digest {

@@ -119,6 +119,19 @@ func (r *Replica) enterView(nv smr.View) {
 		r.env.CancelTimer(r.batchTimer)
 		r.batchTimerSet = false
 	}
+	// Abandon the async crypto pipeline's in-flight work: completions
+	// submitted under the dead view are discarded by goCrypto's epoch
+	// guard, so the bookkeeping they would have released is reset here.
+	// Intake batches mid-verification are dropped like requests batched
+	// into dead-view prepares — their queued markers were rebuilt away
+	// above, so retransmissions are judged fresh.
+	r.intakeQ = nil
+	r.entryVerifying = make(map[smr.SeqNum]bool)
+	r.orderVerifying = make(map[orderKey]bool)
+	r.replySigning = make(map[watchKey]bool)
+	r.replySignVerifying = make(map[replySigID]bool)
+	r.fwdPending = nil
+	r.fwdInFlight = false
 	if r.vcState != nil {
 		r.env.CancelTimer(r.vcState.netTimer)
 		r.env.CancelTimer(r.vcState.vcTimer)
