@@ -9,7 +9,7 @@
 //
 // Experiments: fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10
 //
-//	table1 table2 table3 table5678 batchverify asynccrypto
+//	table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead
 //
 // By default experiments run at "quick" scale (seconds); -full runs
 // the paper-sized sweeps (minutes).
@@ -66,6 +66,8 @@ func main() {
 			bench.BatchVerifyReport(os.Stdout, sc)
 		case "asynccrypto":
 			bench.AsyncCryptoComparison(os.Stdout, sc)
+		case "tlsoverhead":
+			bench.TLSOverhead(os.Stdout, sc)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -77,5 +79,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xft-bench [-full] <experiment>...
-experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto`)
+experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead`)
 }

@@ -13,6 +13,10 @@
 // identity, which saturates the server pipeline (and exercises its
 // admission queue) without spawning one process per connection. Keep
 // the window at or below the servers' per-client intake quota.
+//
+// Channel security mirrors xft-server: mutual TLS derived from -seed
+// by default, -tls-cert/-tls-key/-tls-ca for provisioned material, or
+// -insecure for plaintext (must match the servers' choice).
 package main
 
 import (
@@ -37,6 +41,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "key seed (must match the servers)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-operation timeout")
 	window := flag.Int("window", 1, "max outstanding requests (bench only; >1 = open loop, max 64)")
+	insecure := flag.Bool("insecure", false, "run plaintext TCP (no TLS) — must match the servers")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate file (default: derive from -seed)")
+	tlsKey := flag.String("tls-key", "", "PEM private key file")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle file")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -49,6 +57,15 @@ func main() {
 	}
 	n := 2**t + 1
 	suite := crypto.NewEd25519Suite(n+1024, *seed)
+
+	var topts []transport.Option
+	sec, err := transport.ResolveTLS(suite, smr.NodeID(*clientID), *insecure, *tlsCert, *tlsKey, *tlsCA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sec != nil {
+		topts = append(topts, transport.WithTLS(sec))
+	}
 
 	type completion struct {
 		rep []byte
@@ -69,7 +86,7 @@ func main() {
 		log.Printf("window clamped from %d to %d", *window, cl.Window())
 		*window = cl.Window()
 	}
-	node, err := transport.NewNode(smr.NodeID(*clientID), cl, *listen, peers)
+	node, err := transport.NewNode(smr.NodeID(*clientID), cl, *listen, peers, topts...)
 	if err != nil {
 		log.Fatal(err)
 	}

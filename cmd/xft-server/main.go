@@ -10,10 +10,18 @@
 // Then use xft-client to issue operations. All replicas must share the
 // same -seed (it derives the deterministic key material; a production
 // deployment would provision real keys instead).
+//
+// Channel security is on by default: every connection runs mutual TLS
+// 1.3 with per-node certificates derived from the same seed (so a
+// cluster sharing -seed needs no cert files at all). Pass explicit
+// -tls-cert/-tls-key/-tls-ca paths to use provisioned certificates
+// (see -gen-certs for a starter set), or -insecure to run plaintext
+// for benchmarks on closed testbeds.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -37,15 +45,48 @@ func main() {
 	intakeCap := flag.Int("intake-cap", 0, "admission queue bound (0 = default 4096)")
 	intakePerClient := flag.Int("intake-per-client", 0, "per-client admission quota (0 = default 256)")
 	statsEvery := flag.Duration("stats", 0, "log intake/transport stats at this interval (0 = off)")
+	insecure := flag.Bool("insecure", false, "run plaintext TCP (no TLS) — for benchmarks on closed testbeds")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate file (default: derive from -seed)")
+	tlsKey := flag.String("tls-key", "", "PEM private key file")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle file")
+	probeInterval := flag.Duration("probe-interval", 1*time.Second, "keepalive probe interval (0 = no health probing)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "silence after which a peer is reported down (0 = 3x interval)")
+	genCerts := flag.String("gen-certs", "", "write seed-derived TLS certs for the cluster into this directory and exit")
+	genClients := flag.Int("gen-clients", 8, "with -gen-certs: how many client identities to issue (ids 1000..)")
 	flag.Parse()
+
+	n := 2**t + 1
+	suite := crypto.NewEd25519Suite(n+1024, *seed)
+
+	if *genCerts != "" {
+		ids := make([]smr.NodeID, 0, n+*genClients)
+		for i := 0; i < n; i++ {
+			ids = append(ids, smr.NodeID(i))
+		}
+		for i := 0; i < *genClients; i++ {
+			ids = append(ids, smr.ClientIDBase+smr.NodeID(i))
+		}
+		if err := transport.WriteCertFiles(suite, ids, *genCerts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote ca.pem and %d node certificates to %s\n", len(ids), *genCerts)
+		return
+	}
 
 	peers, err := transport.ParsePeers(*peersFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	n := 2**t + 1
-	suite := crypto.NewEd25519Suite(n+1024, *seed)
+	opts := []transport.Option{transport.WithKeepalive(*probeInterval, *probeTimeout)}
+	secured, err := transport.ResolveTLS(suite, smr.NodeID(*id), *insecure, *tlsCert, *tlsKey, *tlsCA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if secured != nil {
+		opts = append(opts, transport.WithTLS(secured))
+	}
+
 	cfg := xpaxos.Config{
 		N: n, T: *t,
 		Suite:              crypto.NewMeter(suite),
@@ -62,12 +103,12 @@ func main() {
 		},
 	}
 	replica := xpaxos.NewReplica(smr.NodeID(*id), cfg, zk.NewStore())
-	node, err := transport.NewNode(smr.NodeID(*id), replica, *listen, peers)
+	node, err := transport.NewNode(smr.NodeID(*id), replica, *listen, peers, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("xft-server: replica %d/%d listening on %s (t=%d, Δ=%v, FD=%v)",
-		*id, n, node.Addr(), *t, *delta, *fd)
+	log.Printf("xft-server: replica %d/%d listening on %s (t=%d, Δ=%v, FD=%v, TLS=%v, probes=%v)",
+		*id, n, node.Addr(), *t, *delta, *fd, secured != nil, *probeInterval)
 
 	if *statsEvery > 0 {
 		go func() {
@@ -79,8 +120,9 @@ func main() {
 						st.Intake.ForwardDropped, st.Intake.PressureDropped)
 				}
 				for id, p := range st.Peers {
-					if p.Drops > 0 || p.Queued > 0 {
-						log.Printf("peer %d: queued=%d dropped=%d", id, p.Queued, p.Drops)
+					if p.Drops > 0 || p.Queued > 0 || !p.Up {
+						log.Printf("peer %d: queued=%d dropped=%d up=%v rtt=%v",
+							id, p.Queued, p.Drops, p.Up, p.RTT)
 					}
 				}
 			}

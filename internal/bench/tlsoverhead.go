@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/transport"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+// TLSOverhead measures what mutual TLS 1.3 costs on the live TCP
+// loopback deployment: the same 3-replica XPaxos cluster (t = 1, real
+// Ed25519 signatures, keepalive probing on) is driven by one
+// open-loop client twice — plaintext, then with the transport's
+// AutoTLS channel security — and the throughput and latency deltas
+// are reported. Loopback has no propagation delay, so this
+// upper-bounds the relative overhead: on a WAN the handshake is a
+// one-time cost and the symmetric-crypto cost shrinks against real
+// RTTs.
+//
+// Wall-clock on a shared host is noisy; like the other live-cluster
+// experiments this is a report, not a CI gate — the CI smoke job runs
+// it at quick scale to prove the TLS path end to end.
+func TLSOverhead(w io.Writer, sc Scale) {
+	ops, window := 2000, 16
+	if sc.Quick {
+		ops, window = 300, 8
+	}
+	fmt.Fprintf(w, "TLS channel-security overhead, 3-replica loopback cluster (%d ops, window %d)\n", ops, window)
+	fmt.Fprintf(w, "%10s  %10s  %12s  %12s\n", "mode", "ops/s", "p50", "p99")
+	plain := runLoopbackCluster(false, ops, window)
+	fmt.Fprintf(w, "%10s  %10.0f  %12s  %12s\n", "plaintext", plain.opsPerSec, plain.p50, plain.p99)
+	secured := runLoopbackCluster(true, ops, window)
+	fmt.Fprintf(w, "%10s  %10.0f  %12s  %12s\n", "tls", secured.opsPerSec, secured.p50, secured.p99)
+	fmt.Fprintf(w, "throughput ratio tls/plaintext: %.2f\n", secured.opsPerSec/plain.opsPerSec)
+}
+
+type loopbackResult struct {
+	opsPerSec float64
+	p50, p99  time.Duration
+}
+
+// runLoopbackCluster stands up a full TCP deployment on 127.0.0.1 —
+// three xpaxos replicas and one windowed client — commits the given
+// number of 512-byte writes, and tears everything down.
+func runLoopbackCluster(withTLS bool, ops, window int) loopbackResult {
+	const (
+		n        = 3
+		tf       = 1
+		clientID = smr.ClientIDBase
+	)
+	suite := crypto.NewEd25519Suite(n+1024, 42)
+	secure := func(id smr.NodeID) []transport.Option {
+		if !withTLS {
+			return nil
+		}
+		sec, err := transport.AutoTLS(suite, id)
+		if err != nil {
+			panic(err)
+		}
+		return []transport.Option{transport.WithTLS(sec)}
+	}
+
+	peers := map[smr.NodeID]string{}
+	var nodes []*transport.Node
+	for i := 0; i < n; i++ {
+		id := smr.NodeID(i)
+		rep := xpaxos.NewReplica(id, xpaxos.Config{
+			N: n, T: tf,
+			Suite:          suite,
+			Delta:          500 * time.Millisecond,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+		}, kv.NewStore())
+		opts := append(secure(id), transport.WithKeepalive(500*time.Millisecond, 2*time.Second))
+		node, err := transport.NewNode(id, rep, "127.0.0.1:0", peers, opts...)
+		if err != nil {
+			panic(err)
+		}
+		peers[id] = node.Addr()
+		nodes = append(nodes, node)
+	}
+
+	type completion struct{ lat time.Duration }
+	done := make(chan completion, window+1)
+	cl := xpaxos.NewClient(clientID, xpaxos.ClientConfig{
+		N: n, T: tf, Suite: suite,
+		RequestTimeout: 5 * time.Second,
+		Window:         window,
+		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- completion{lat} },
+	})
+	cnode, err := transport.NewNode(clientID, cl, "127.0.0.1:0", peers, secure(clientID)...)
+	if err != nil {
+		panic(err)
+	}
+	peers[clientID] = cnode.Addr()
+	nodes = append(nodes, cnode)
+
+	for _, nd := range nodes {
+		go nd.Run()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	op := kv.PutOp("/bench", make([]byte, 512))
+	lats := make([]time.Duration, 0, ops)
+	start := time.Now()
+	inflight, issued, completed := 0, 0, 0
+	for completed < ops {
+		for inflight < window && issued < ops {
+			cnode.Submit(smr.Invoke{Op: op})
+			inflight++
+			issued++
+		}
+		c := <-done
+		lats = append(lats, c.lat)
+		inflight--
+		completed++
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		return lats[int(p*float64(len(lats)-1))].Round(10 * time.Microsecond)
+	}
+	return loopbackResult{
+		opsPerSec: float64(ops) / elapsed.Seconds(),
+		p50:       pct(0.50),
+		p99:       pct(0.99),
+	}
+}

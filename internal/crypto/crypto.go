@@ -223,6 +223,13 @@ func (s *Ed25519Suite) parsedKey(id NodeID) *ed25519x.PublicKey {
 // standard-library representation.
 func (s *Ed25519Suite) PublicKey(id NodeID) ed25519.PublicKey { return s.pub[id] }
 
+// PrivateKey returns node id's Ed25519 private key (nil if id has
+// none). The suite's keys are seed-derived deployment material; the
+// TCP transport reuses them as TLS identity keys, so the channel
+// certificates and the protocol signatures attest the same identity
+// (see internal/transport's AutoTLS).
+func (s *Ed25519Suite) PrivateKey(id NodeID) ed25519.PrivateKey { return s.priv[id] }
+
 // SupportsBatchVerify implements BatchSuite.
 func (s *Ed25519Suite) SupportsBatchVerify() bool { return true }
 

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// healthRecorder records health events with their virtual arrival
+// times.
+type healthRecorder struct {
+	env   smr.Env
+	downs []healthEvent
+	ups   []healthEvent
+}
+
+type healthEvent struct {
+	peer smr.NodeID
+	at   time.Duration
+}
+
+func (h *healthRecorder) Init(env smr.Env) { h.env = env }
+func (h *healthRecorder) Step(ev smr.Event) {
+	switch e := ev.(type) {
+	case smr.PeerDown:
+		h.downs = append(h.downs, healthEvent{peer: e.Peer, at: h.env.Now()})
+	case smr.PeerUp:
+		h.ups = append(h.ups, healthEvent{peer: e.Peer, at: h.env.Now()})
+	}
+}
+
+func newHealthNet(t *testing.T) (*Network, []*healthRecorder) {
+	t.Helper()
+	net := New(Config{
+		Latency:       Uniform{Delay: 5 * time.Millisecond},
+		CostModel:     crypto.DefaultCostModel(),
+		Seed:          1,
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond,
+	})
+	recs := make([]*healthRecorder, 3)
+	for i := range recs {
+		recs[i] = &healthRecorder{}
+		net.AddNode(smr.NodeID(i), recs[i])
+	}
+	net.StartHealthMonitors(0, 1, 2)
+	return net, recs
+}
+
+// TestHealthMonitorPartialPartition: cutting one link must deliver
+// PeerDown to exactly its two endpoints, about each other only, at
+// cut time + probe timeout (quantized to a probe tick); healing must
+// deliver the matching PeerUp.
+func TestHealthMonitorPartialPartition(t *testing.T) {
+	net, recs := newHealthNet(t)
+	const cutAt = 100 * time.Millisecond
+	net.At(cutAt, func() { net.CutLink(0, 1) })
+	net.RunUntil(300 * time.Millisecond)
+
+	for _, i := range []int{0, 1} {
+		other := smr.NodeID(1 - i)
+		if len(recs[i].downs) != 1 || recs[i].downs[0].peer != other {
+			t.Fatalf("node %d downs = %+v, want exactly one for peer %d", i, recs[i].downs, other)
+		}
+		at := recs[i].downs[0].at
+		// Detection at the first probe tick at least ProbeTimeout past
+		// the last successful probe — the cut lands on a tick boundary,
+		// so the window is [timeout - interval, timeout + 2*interval]
+		// around the cut, plus delivery latency.
+		lo, hi := cutAt+40*time.Millisecond, cutAt+80*time.Millisecond
+		if at < lo || at > hi {
+			t.Errorf("node %d detected at %v, want within [%v, %v]", i, at, lo, hi)
+		}
+	}
+	if len(recs[2].downs) != 0 {
+		t.Errorf("bystander node 2 received PeerDown %+v for a partial partition", recs[2].downs)
+	}
+
+	net.At(net.Now(), func() { net.HealLink(0, 1) })
+	net.RunFor(100 * time.Millisecond)
+	for _, i := range []int{0, 1} {
+		other := smr.NodeID(1 - i)
+		if len(recs[i].ups) != 1 || recs[i].ups[0].peer != other {
+			t.Errorf("node %d ups after heal = %+v, want one for peer %d", i, recs[i].ups, other)
+		}
+	}
+}
+
+// TestHealthMonitorCrash: a crashed node must be reported down to all
+// monitors; the crashed node itself receives nothing while down, and
+// recovery propagates PeerUp.
+func TestHealthMonitorCrash(t *testing.T) {
+	net, recs := newHealthNet(t)
+	net.At(100*time.Millisecond, func() { net.Crash(2) })
+	net.RunUntil(300 * time.Millisecond)
+	for _, i := range []int{0, 1} {
+		if len(recs[i].downs) != 1 || recs[i].downs[0].peer != 2 {
+			t.Fatalf("node %d downs = %+v, want one for peer 2", i, recs[i].downs)
+		}
+	}
+	net.At(net.Now(), func() { net.Recover(2) })
+	net.RunFor(100 * time.Millisecond)
+	for _, i := range []int{0, 1} {
+		if len(recs[i].ups) != 1 || recs[i].ups[0].peer != 2 {
+			t.Errorf("node %d ups = %+v, want one for peer 2", i, recs[i].ups)
+		}
+	}
+	// The crashed node's own monitors were silenced while it was down;
+	// after recovery it must not be flooded with stale transitions for
+	// healthy peers.
+	for _, ev := range recs[2].downs {
+		if ev.peer == 0 || ev.peer == 1 {
+			t.Errorf("recovered node 2 got spurious PeerDown for healthy peer %d", ev.peer)
+		}
+	}
+}
+
+// TestHealthMonitorDeterminism: two identically seeded runs must
+// deliver identical event sequences at identical virtual times.
+func TestHealthMonitorDeterminism(t *testing.T) {
+	run := func() []healthEvent {
+		net, recs := newHealthNet(t)
+		net.At(70*time.Millisecond, func() { net.CutLink(0, 1) })
+		net.At(150*time.Millisecond, func() { net.HealLink(0, 1) })
+		net.RunUntil(400 * time.Millisecond)
+		var all []healthEvent
+		for _, r := range recs {
+			all = append(all, r.downs...)
+			all = append(all, r.ups...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

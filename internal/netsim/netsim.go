@@ -53,6 +53,17 @@ type Config struct {
 	CostModel crypto.CostModel
 	// Seed drives all randomness.
 	Seed int64
+	// ProbeInterval and ProbeTimeout model the live transport's
+	// connection keepalive (see internal/transport.WithKeepalive):
+	// when StartHealthMonitors is called, each monitored node checks
+	// each monitored peer every ProbeInterval and receives an
+	// smr.PeerDown event once the peer has been unreachable — link cut
+	// in either direction, or crashed — for ProbeTimeout, and an
+	// smr.PeerUp when it answers again. Zero ProbeInterval disables
+	// monitoring; zero ProbeTimeout defaults to 3x the interval,
+	// matching the transport.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
 }
 
 // NodeStats aggregates per-node measurements.
@@ -86,6 +97,11 @@ type Network struct {
 	// msgTypeCount counts sent messages by Type() for pattern tests.
 	msgTypeCount map[string]uint64
 	msgTypeBytes map[string]uint64
+	// health holds the modeled keepalive monitors (StartHealthMonitors);
+	// healthPairs fixes their iteration order so same-tick transitions
+	// enqueue deterministically.
+	health      map[[2]smr.NodeID]*linkHealth
+	healthPairs [][2]smr.NodeID
 	// Trace, if non-nil, observes every delivered message.
 	Trace func(at time.Duration, from, to smr.NodeID, m smr.Message)
 }
@@ -264,6 +280,81 @@ func (n *Network) Partition(group ...smr.NodeID) {
 
 // HealAll restores every cut link.
 func (n *Network) HealAll() { n.downLinks = make(map[[2]smr.NodeID]bool) }
+
+// ---------------------------------------------------------------------------
+// Connection health monitoring (the simulator's model of the TCP
+// transport's keepalive probes)
+// ---------------------------------------------------------------------------
+
+// linkHealth is one directed monitor's state: a watches b.
+type linkHealth struct {
+	lastOK time.Duration
+	up     bool
+}
+
+// StartHealthMonitors begins keepalive modeling among the given nodes
+// (typically the replicas; clients are not probed by the live
+// transport either). Every ProbeInterval, each ordered pair (a, b) is
+// checked: a "probe" succeeds when neither end is crashed and the
+// link delivers in both directions (the live probe is a ping/pong
+// round trip). A peer failing probes for ProbeTimeout delivers
+// smr.PeerDown{Peer: b} into a's event queue; the first success
+// afterwards delivers smr.PeerUp. Deterministic: transitions happen
+// at exact probe ticks, so partial-partition scenarios replay
+// identically under a fixed seed. Panics if Config.ProbeInterval is
+// zero or monitors were already started.
+func (n *Network) StartHealthMonitors(ids ...smr.NodeID) {
+	if n.cfg.ProbeInterval <= 0 {
+		panic("netsim: StartHealthMonitors without Config.ProbeInterval")
+	}
+	if n.health != nil {
+		panic("netsim: health monitors already started")
+	}
+	if n.cfg.ProbeTimeout <= 0 {
+		n.cfg.ProbeTimeout = 3 * n.cfg.ProbeInterval
+	}
+	n.health = make(map[[2]smr.NodeID]*linkHealth)
+	now := n.eng.Now()
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			// Optimistic start, like the transport: a peer is presumed
+			// up until it stays silent past the timeout.
+			pair := [2]smr.NodeID{a, b}
+			n.health[pair] = &linkHealth{lastOK: now, up: true}
+			n.healthPairs = append(n.healthPairs, pair)
+		}
+	}
+	var tick func()
+	tick = func() {
+		n.eng.After(n.cfg.ProbeInterval, tick)
+		for _, pair := range n.healthPairs {
+			st := n.health[pair]
+			a, b := pair[0], pair[1]
+			an, bn := n.nodes[a], n.nodes[b]
+			reachable := an != nil && bn != nil && !an.crashed && !bn.crashed &&
+				n.LinkUp(a, b) && n.LinkUp(b, a)
+			now := n.eng.Now()
+			if reachable {
+				if !st.up {
+					st.up = true
+					an.enqueue(smr.PeerUp{Peer: b, RTT: n.cfg.Latency.OneWay(n.eng.Rand(), a, b) * 2})
+				}
+				st.lastOK = now
+				continue
+			}
+			if st.up && now-st.lastOK >= n.cfg.ProbeTimeout {
+				st.up = false
+				if an != nil && !an.crashed {
+					an.enqueue(smr.PeerDown{Peer: b, LastSeen: now - st.lastOK})
+				}
+			}
+		}
+	}
+	n.eng.After(n.cfg.ProbeInterval, tick)
+}
 
 // RunUntil advances virtual time to deadline.
 func (n *Network) RunUntil(deadline time.Duration) { n.eng.RunUntil(deadline) }

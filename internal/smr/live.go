@@ -15,6 +15,15 @@ type LiveRuntime struct {
 	start   time.Time
 	wg      sync.WaitGroup
 	started bool
+	stopped bool
+
+	// deferWg tracks goroutines spawned through Defer, separately from
+	// the node run loops in wg: Defer runs on a node goroutine, so its
+	// Add can race a Stop already blocked in wg.Wait — the WaitGroup
+	// reuse rule forbids that on a single group. Stop waits for the run
+	// loops first; once they exit no new Defer can start, and waiting
+	// on deferWg is race-free.
+	deferWg sync.WaitGroup
 }
 
 // NewLiveRuntime returns an empty runtime; add nodes, then Start.
@@ -40,10 +49,15 @@ type liveNode struct {
 
 // AddNode registers a node. Nodes added after Start are initialized
 // and launched immediately (used to attach clients to a running
-// cluster).
+// cluster). Adding a node to a stopped runtime panics: the stop
+// channels are closed, so the node's goroutine would exit instantly
+// and every Submit would be silently lost.
 func (rt *LiveRuntime) AddNode(id NodeID, node Node) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.stopped {
+		panic("smr: AddNode on a stopped LiveRuntime")
+	}
 	if _, dup := rt.nodes[id]; dup {
 		panic("smr: duplicate live node")
 	}
@@ -61,10 +75,15 @@ func (rt *LiveRuntime) AddNode(id NodeID, node Node) {
 	}
 }
 
-// Start initializes every node and launches its event loop.
+// Start initializes every node and launches its event loop. A runtime
+// is single-use: Start after Stop panics rather than silently running
+// nodes whose stop channels are already closed.
 func (rt *LiveRuntime) Start() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.stopped {
+		panic("smr: Start on a stopped LiveRuntime")
+	}
 	if rt.started {
 		return
 	}
@@ -79,14 +98,27 @@ func (rt *LiveRuntime) Start() {
 	}
 }
 
-// Stop terminates all node goroutines and waits for them.
+// Stop terminates all node goroutines, waits for them, then waits for
+// any deferred work still completing. It is idempotent; the runtime
+// cannot be restarted afterwards (Start/AddNode fail loudly).
 func (rt *LiveRuntime) Stop() {
 	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		rt.wg.Wait()
+		rt.deferWg.Wait()
+		return
+	}
+	rt.stopped = true
 	for _, ln := range rt.nodes {
 		close(ln.stop)
 	}
 	rt.mu.Unlock()
+	// Run loops first: every Defer happens on a node goroutine, so once
+	// these exit the deferred set is closed and deferWg.Wait cannot
+	// race an Add.
 	rt.wg.Wait()
+	rt.deferWg.Wait()
 }
 
 // Submit injects an event (typically Invoke) into a node's loop,
@@ -183,9 +215,9 @@ func (ln *liveNode) CancelTimer(id TimerID) { ln.timers.Cancel(id) }
 // completion would strand that bookkeeping forever. The send blocks
 // until the inbox drains or the node stops.
 func (ln *liveNode) Defer(kind string, work func(), apply func()) {
-	ln.rt.wg.Add(1)
+	ln.rt.deferWg.Add(1)
 	go func() {
-		defer ln.rt.wg.Done()
+		defer ln.rt.deferWg.Done()
 		work()
 		select {
 		case ln.inbox <- Async{Kind: kind, Apply: apply}:

@@ -99,11 +99,38 @@ type Async struct {
 	Apply func()
 }
 
+// PeerDown is the runtime's connection-health signal that a peer has
+// stopped answering keepalive probes (or, in the simulator, that the
+// modeled link to it is no longer delivering). It is delivered through
+// the node's inbox like a timer, so protocols can react on the event
+// loop — e.g. an XPaxos replica proactively suspects the view when an
+// active-group member goes dark, instead of waiting for a retransmit
+// timeout. The signal is local and advisory: it reflects this node's
+// own channel to the peer, which a partial partition can sever while
+// the peer is alive and well for everyone else.
+type PeerDown struct {
+	Peer NodeID
+	// LastSeen is how long ago (at delivery) the peer last answered.
+	LastSeen time.Duration
+}
+
+// PeerUp reports a peer answering probes again after a PeerDown (or
+// confirming liveness for the first time). Like PeerDown it is
+// advisory and local to this node's channel.
+type PeerUp struct {
+	Peer NodeID
+	// RTT is the round-trip time of the probe that confirmed liveness
+	// (zero when the runtime does not measure one).
+	RTT time.Duration
+}
+
 func (Recv) isEvent()       {}
 func (TimerFired) isEvent() {}
 func (Start) isEvent()      {}
 func (Invoke) isEvent()     {}
 func (Async) isEvent()      {}
+func (PeerDown) isEvent()   {}
+func (PeerUp) isEvent()     {}
 
 // Env is the interface a node uses to act on the world. Implementations
 // are provided by the runtimes; protocol code must not assume anything

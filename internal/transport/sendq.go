@@ -68,6 +68,13 @@ func (q *sendQueue) push(m smr.Message) {
 		q.critical.push(m)
 	}
 	q.mu.Unlock()
+	q.kick()
+}
+
+// kick wakes the writer without enqueuing anything — used by push and
+// by the keepalive prober, whose ping request travels out of band (a
+// flag on the peer, not a queued message).
+func (q *sendQueue) kick() {
 	select {
 	case q.notify <- struct{}{}:
 	default:

@@ -10,15 +10,32 @@
 // so a down or slow peer cannot stall the replica event loop. Dialing,
 // redialing with backoff, and write-side buffering all live in the
 // writer. Drops are counted per peer and surfaced via PeerStats.
+//
+// Two optional hardening layers ride on top (ROADMAP: channel
+// security + health probes):
+//
+//   - WithTLS upgrades every connection to mutual TLS 1.3 with
+//     per-node certificates bound to node ids (tls.go), and the read
+//     loop enforces that a frame's claimed sender matches the
+//     authenticated identity;
+//   - WithKeepalive runs ping/pong probes (frame.go control frames)
+//     over each replica peer's connection, tracking per-peer RTT and
+//     last-seen, and delivers smr.PeerDown / smr.PeerUp transitions
+//     into the node's inbox — so a protocol can suspect a silent peer
+//     at probe-timeout granularity instead of waiting for a
+//     retransmission timeout.
 package transport
 
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/smr"
@@ -30,7 +47,8 @@ import (
 const (
 	// DefaultSendQueueCap bounds each peer's send queue, in messages.
 	DefaultSendQueueCap = 1024
-	// DefaultDialTimeout bounds one dial attempt to a peer.
+	// DefaultDialTimeout bounds one dial attempt to a peer (and one TLS
+	// handshake, on either side).
 	DefaultDialTimeout = 2 * time.Second
 
 	// Redial backoff bounds: after a failed dial the writer waits
@@ -42,6 +60,11 @@ const (
 	// flushes whenever its queue drains, so buffering only coalesces
 	// back-to-back frames and never delays a lone message.
 	writeBufSize = 64 << 10
+
+	// maxPingEcho bounds the ping payload a node echoes back. Probes
+	// carry 8 bytes; anything larger is hostile or corrupt and is not
+	// worth amplifying.
+	maxPingEcho = 64
 )
 
 // Option customizes a Node.
@@ -65,6 +88,34 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithTLS enables mutual TLS on every connection using the given
+// material (see AutoTLS and LoadTLS). Omitting the option — the
+// insecure opt-out used by benchmarks and closed testbeds — keeps the
+// transport plaintext.
+func WithTLS(t *TLS) Option {
+	return func(nd *Node) { nd.tls = t }
+}
+
+// WithKeepalive enables connection-level health probing: every
+// interval the node pings each replica peer over its outbound
+// connection (dialing it if necessary) and tracks the pong's RTT and
+// arrival time. A peer silent for longer than timeout is reported to
+// the hosted protocol node as an smr.PeerDown event through the
+// inbox; a pong after that reports smr.PeerUp. A zero timeout
+// defaults to 3x the interval.
+func WithKeepalive(interval, timeout time.Duration) Option {
+	return func(nd *Node) {
+		if interval <= 0 {
+			return
+		}
+		if timeout <= 0 {
+			timeout = 3 * interval
+		}
+		nd.probeInterval = interval
+		nd.probeTimeout = timeout
+	}
+}
+
 // Node hosts one protocol node on a TCP endpoint.
 type Node struct {
 	id    smr.NodeID
@@ -82,6 +133,10 @@ type Node struct {
 	queueCap    int
 	dialTimeout time.Duration
 
+	tls           *TLS
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+
 	mu      sync.Mutex
 	stopped bool
 	conns   map[smr.NodeID]*peerConn
@@ -95,16 +150,78 @@ type Node struct {
 }
 
 // peerConn is one peer's outbound path: a bounded queue drained by a
-// writer goroutine. The connection itself is owned by the writer; the
-// mutex only guards the handle so Stop (and write-error recovery) can
-// close it from outside.
+// writer goroutine, plus the peer's keepalive health record. The
+// connection itself is owned by the writer; the mutex only guards the
+// handle so Stop (and write-error recovery) can close it from outside.
 type peerConn struct {
+	id   smr.NodeID
 	addr string
 	q    *sendQueue
+
+	// pingPending asks the writer to emit one keepalive ping on its
+	// next pass (set by the probe loop, cleared by the writer).
+	pingPending atomic.Bool
 
 	mu   sync.Mutex
 	c    net.Conn
 	shut bool
+
+	// Health record. pongLoop writes the observations (lastSeen, rtt);
+	// the up/down judgement — and thus every PeerDown/PeerUp event —
+	// is made only by the probe loop (judgeHealth), so transitions are
+	// totally ordered and the delivered events can never invert.
+	// Guarded by hmu; Stats reads it too.
+	hmu      sync.Mutex
+	lastSeen time.Duration
+	rtt      time.Duration
+	up       bool
+}
+
+// markSeen records a pong observation at now with the given round-trip
+// time. It deliberately makes no up/down decision: if it also flipped
+// state, a pong racing the probe loop's timeout check could publish
+// PeerUp before the corresponding PeerDown, leaving consumers'
+// level state permanently inverted for a healthy peer.
+func (pc *peerConn) markSeen(now, rtt time.Duration) {
+	pc.hmu.Lock()
+	pc.lastSeen = now
+	pc.rtt = rtt
+	pc.hmu.Unlock()
+}
+
+// healthTransition is judgeHealth's verdict for one probe tick.
+type healthTransition int
+
+const (
+	healthSteady healthTransition = iota
+	healthWentDown
+	healthWentUp
+)
+
+// judgeHealth makes the probe loop's up/down decision: down when an
+// up peer has been silent past timeout, up when a down peer has
+// answered within it. Called only from the probe loop, so at most one
+// transition is in flight at a time.
+func (pc *peerConn) judgeHealth(now, timeout time.Duration) (healthTransition, time.Duration) {
+	pc.hmu.Lock()
+	defer pc.hmu.Unlock()
+	silent := now - pc.lastSeen
+	switch {
+	case pc.up && silent > timeout:
+		pc.up = false
+		return healthWentDown, silent
+	case !pc.up && silent <= timeout:
+		pc.up = true
+		return healthWentUp, pc.rtt
+	}
+	return healthSteady, 0
+}
+
+// health snapshots the record for Stats.
+func (pc *peerConn) health() (up bool, rtt, lastSeen time.Duration) {
+	pc.hmu.Lock()
+	defer pc.hmu.Unlock()
+	return pc.up, pc.rtt, pc.lastSeen
 }
 
 // setConn publishes a freshly dialed connection. If shutdown already
@@ -175,11 +292,15 @@ func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.Node
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Run starts the accept loop and the node's event loop; it blocks
-// until Stop.
+// Run starts the accept loop, the keepalive prober (when enabled) and
+// the node's event loop; it blocks until Stop.
 func (n *Node) Run() {
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.probeInterval > 0 {
+		n.wg.Add(1)
+		go n.probeLoop()
+	}
 	n.node.Init(n)
 	n.node.Step(smr.Start{})
 	for {
@@ -225,12 +346,19 @@ func (n *Node) Stop() {
 	})
 }
 
-// PeerStats reports each peer's current send-queue depth and its
+// PeerStats reports each peer's current send-queue depth, its
 // cumulative drop count (queue evictions plus frames lost to write
-// errors). Peers that were never sent to are absent.
+// errors or shutdown), and — when keepalive probing is enabled — its
+// health record. Peers that were never sent to or probed are absent.
 type PeerStats struct {
 	Queued int
 	Drops  uint64
+	// Up reports the prober's current judgement; RTT the last measured
+	// probe round trip; LastSeen the Node.Now() timestamp of the last
+	// pong. All three are zero-valued when probing is disabled.
+	Up       bool
+	RTT      time.Duration
+	LastSeen time.Duration
 }
 
 // Stats aggregates a node's transport and protocol health counters.
@@ -254,12 +382,17 @@ type intakeReporter interface {
 // bench harness.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	peers := make(map[smr.NodeID]PeerStats, len(n.conns))
+	pcs := make(map[smr.NodeID]*peerConn, len(n.conns))
 	for id, pc := range n.conns {
-		depth, drops := pc.q.stats()
-		peers[id] = PeerStats{Queued: depth, Drops: drops}
+		pcs[id] = pc
 	}
 	n.mu.Unlock()
+	peers := make(map[smr.NodeID]PeerStats, len(pcs))
+	for id, pc := range pcs {
+		depth, drops := pc.q.stats()
+		up, rtt, seen := pc.health()
+		peers[id] = PeerStats{Queued: depth, Drops: drops, Up: up, RTT: rtt, LastSeen: seen}
+	}
 	out := Stats{Peers: peers}
 	if ir, ok := n.node.(intakeReporter); ok {
 		st := ir.IntakeStats()
@@ -278,6 +411,11 @@ func (n *Node) acceptLoop() {
 		conn, err := n.ln.Accept()
 		if err != nil {
 			return
+		}
+		if n.tls != nil {
+			// Wrap now, handshake in the read loop: a peer stalling its
+			// handshake must not block accept.
+			conn = tls.Server(conn, n.tls.serverConfig())
 		}
 		n.mu.Lock()
 		if n.stopped {
@@ -300,18 +438,62 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.inbound, conn)
 		n.mu.Unlock()
 	}()
+	// authID is the TLS-authenticated peer identity. Under plaintext it
+	// stays -1: any claimed sender is accepted, as before.
+	authID := smr.NodeID(-1)
+	if n.tls != nil {
+		tc, ok := conn.(*tls.Conn)
+		if !ok {
+			return
+		}
+		conn.SetDeadline(time.Now().Add(n.dialTimeout))
+		if err := tc.HandshakeContext(n.ctx); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Time{})
+		certs := tc.ConnectionState().PeerCertificates
+		if len(certs) == 0 {
+			return
+		}
+		id, ok := peerIDFromCert(certs[0])
+		if !ok {
+			return // a valid cluster cert must carry a node identity
+		}
+		authID = id
+	}
 	br := bufio.NewReader(conn)
 	for {
 		// Each frame gets a fresh buffer: the decoded message's byte
 		// fields alias it, and the message outlives this iteration.
-		payload, err := ReadFrame(br, nil)
+		kind, payload, err := ReadFrameKind(br, nil)
 		if err != nil {
 			return
+		}
+		switch kind {
+		case FramePing:
+			// Answer on the same connection the ping arrived on, so the
+			// probe measures the channel the peer actually uses. The
+			// read loop is this conn's only writer.
+			if len(payload) > maxPingEcho {
+				continue
+			}
+			if err := WriteFrameKind(conn, FramePong, payload); err != nil {
+				return
+			}
+			continue
+		case FramePong:
+			continue // pongs belong on outbound conns (pongLoop)
+		case FrameMsg:
+		default:
+			continue // unknown control frame: ignore for forward compat
 		}
 		rd := wire.NewReader(payload)
 		from, ok := rd.I64()
 		if !ok {
 			return // malformed header: desynced peer, drop the conn
+		}
+		if authID >= 0 && smr.NodeID(from) != authID {
+			return // claimed sender contradicts the TLS identity
 		}
 		msg, err := xpaxos.DecodeMessage(payload[8:])
 		if err != nil {
@@ -352,11 +534,37 @@ func (n *Node) peer(to smr.NodeID) *peerConn {
 	if !ok || n.stopped {
 		return nil
 	}
-	pc := &peerConn{addr: addr, q: newSendQueue(n.queueCap)}
+	pc := &peerConn{id: to, addr: addr, q: newSendQueue(n.queueCap)}
+	// The health record starts optimistic: a peer is presumed up until
+	// it stays silent past the probe timeout, so booting a cluster
+	// does not open with a storm of PeerDown events.
+	pc.lastSeen = n.Now()
+	pc.up = true
 	n.conns[to] = pc
 	n.wg.Add(1)
 	go n.writeLoop(pc)
 	return pc
+}
+
+// dialPeer establishes a connection to pc's peer, running the TLS
+// handshake when channel security is enabled. A handshake failure is
+// a dial failure: the writer backs off and retries.
+func (n *Node) dialPeer(d *net.Dialer, pc *peerConn) (net.Conn, error) {
+	c, err := d.DialContext(n.ctx, "tcp", pc.addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.tls == nil {
+		return c, nil
+	}
+	tc := tls.Client(c, n.tls.clientConfig(pc.id))
+	tc.SetDeadline(time.Now().Add(n.dialTimeout))
+	if err := tc.HandshakeContext(n.ctx); err != nil {
+		c.Close()
+		return nil, err
+	}
+	tc.SetDeadline(time.Time{})
+	return tc, nil
 }
 
 // writeLoop drains pc's queue onto its connection, (re)dialing as
@@ -364,6 +572,14 @@ func (n *Node) peer(to smr.NodeID) *peerConn {
 // while the bounded queue absorbs — and, when full, sheds — new
 // traffic. Frames are buffered and flushed when the queue drains, so
 // bursts coalesce into few syscalls without delaying a lone message.
+// Keepalive pings requested by the probe loop ride the same path —
+// including the dial, so probing a peer with no pending traffic still
+// establishes (and thereby tests) the channel.
+//
+// Every exit path accounts for what it abandons: the in-hand message
+// already dequeued by pop and any frames accepted by the buffer since
+// its last flush are counted as drops, so shutdown mid-backoff never
+// loses a message silently.
 func (n *Node) writeLoop(pc *peerConn) {
 	defer n.wg.Done()
 	defer pc.closeConn()
@@ -385,7 +601,8 @@ func (n *Node) writeLoop(pc *peerConn) {
 	}
 	for {
 		m, ok := pc.q.pop()
-		if !ok {
+		wantPing := pc.pingPending.Load()
+		if !ok && !wantPing {
 			if bw != nil {
 				if err := bw.Flush(); err != nil {
 					fail(0)
@@ -397,21 +614,31 @@ func (n *Node) writeLoop(pc *peerConn) {
 			case <-pc.q.notify:
 				continue
 			case <-n.ctx.Done():
+				pc.q.countDrops(unflushed)
 				return
 			}
+		}
+		// inHand counts the dequeued message through the shutdown
+		// paths below: once popped it exists nowhere but here, so an
+		// exit before it reaches the buffer must count it.
+		var inHand uint64
+		if ok {
+			inHand = 1
 		}
 		// Ensure a live connection; the dequeued message waits through
 		// backoff (newer messages accumulate behind it, oldest-first
 		// eviction applies if the peer stays down).
 		for bw == nil {
-			c, err := dialer.DialContext(n.ctx, "tcp", pc.addr)
+			c, err := n.dialPeer(&dialer, pc)
 			if err != nil {
 				if n.ctx.Err() != nil {
+					pc.q.countDrops(unflushed + inHand)
 					return
 				}
 				select {
 				case <-time.After(backoff):
 				case <-n.ctx.Done():
+					pc.q.countDrops(unflushed + inHand)
 					return
 				}
 				if backoff *= 2; backoff > dialBackoffMax {
@@ -421,27 +648,43 @@ func (n *Node) writeLoop(pc *peerConn) {
 			}
 			backoff = dialBackoffMin
 			if !pc.setConn(c) {
+				pc.q.countDrops(unflushed + inHand)
 				return // Stop won the race; the conn is closed
 			}
 			bw = bufio.NewWriterSize(c, writeBufSize)
+			if n.probeInterval > 0 {
+				// The pong reader lives exactly as long as this conn.
+				n.wg.Add(1)
+				go n.pongLoop(pc, c)
+			}
 		}
-		buf.Reset()
-		buf.I64(int64(n.id))
-		if err := xpaxos.AppendMessage(buf, m); err != nil {
-			pc.q.countDrops(1) // not encodable: shed, but count
-			continue
+		if ok {
+			buf.Reset()
+			buf.I64(int64(n.id))
+			if err := xpaxos.AppendMessage(buf, m); err != nil {
+				pc.q.countDrops(1) // not encodable: shed, but count
+			} else if err := WriteFrame(bw, buf.Done()); err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					// Rejected before any bytes hit the stream: the
+					// connection is still in sync, shed just this message.
+					pc.q.countDrops(1)
+				} else {
+					fail(1)
+					continue
+				}
+			} else {
+				unflushed++
+			}
 		}
-		if err := WriteFrame(bw, buf.Done()); err != nil {
-			if errors.Is(err, ErrFrameTooLarge) {
-				// Rejected before any bytes hit the stream: the
-				// connection is still in sync, shed just this message.
-				pc.q.countDrops(1)
+		if wantPing {
+			pc.pingPending.Store(false)
+			var ts [8]byte
+			binary.LittleEndian.PutUint64(ts[:], uint64(n.Now()))
+			if err := WriteFrameKind(bw, FramePing, ts[:]); err != nil {
+				fail(0)
 				continue
 			}
-			fail(1)
-			continue
 		}
-		unflushed++
 		if pc.q.empty() {
 			if err := bw.Flush(); err != nil {
 				fail(0)
@@ -449,6 +692,79 @@ func (n *Node) writeLoop(pc *peerConn) {
 				unflushed = 0
 			}
 		}
+	}
+}
+
+// pongLoop drains keepalive replies from an outbound connection,
+// feeding the peer's health record. It exits with the connection: any
+// read error — the writer replacing the conn after a write failure,
+// or Stop closing it — ends the loop.
+func (n *Node) pongLoop(pc *peerConn, c net.Conn) {
+	defer n.wg.Done()
+	br := bufio.NewReaderSize(c, 512)
+	var buf []byte
+	for {
+		kind, payload, err := ReadFrameKind(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload
+		if kind != FramePong || len(payload) != 8 {
+			continue
+		}
+		now := n.Now()
+		rtt := now - time.Duration(binary.LittleEndian.Uint64(payload))
+		if rtt < 0 {
+			rtt = 0 // a peer echoing garbage must not corrupt the record
+		}
+		pc.markSeen(now, rtt)
+	}
+}
+
+// probeLoop drives keepalive probing: every interval it asks each
+// replica peer's writer to emit one ping (which dials the peer if no
+// traffic ever has) and turns silence past the timeout into an
+// smr.PeerDown event, recovery into smr.PeerUp. It is the sole
+// producer of health events, so the delivered transition sequence
+// always alternates and matches the health record's final state.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.probeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for id := range n.peers {
+			if id == n.id || id.IsClient() {
+				continue // clients come and go; only replicas are probed
+			}
+			pc := n.peer(id)
+			if pc == nil {
+				return // node stopped
+			}
+			switch verdict, d := pc.judgeHealth(n.Now(), n.probeTimeout); verdict {
+			case healthWentDown:
+				n.deliverHealth(smr.PeerDown{Peer: id, LastSeen: d})
+			case healthWentUp:
+				n.deliverHealth(smr.PeerUp{Peer: id, RTT: d})
+			}
+			pc.pingPending.Store(true)
+			pc.q.kick()
+		}
+	}
+}
+
+// deliverHealth injects a health event into the node's loop. Like
+// timer firings, health transitions are never dropped on a full inbox:
+// they are rare, and losing a PeerDown would leave the protocol blind
+// to exactly the condition probing exists to surface.
+func (n *Node) deliverHealth(ev smr.Event) {
+	select {
+	case n.inbox <- ev:
+	case <-n.ctx.Done():
 	}
 }
 

@@ -420,6 +420,45 @@ func TestSlowPeerBoundedQueue(t *testing.T) {
 	}
 }
 
+// TestStopCountsInHandMessage is the regression test for writer drop
+// accounting on shutdown: a message already dequeued by pop() and held
+// across dial backoff used to vanish silently when Stop cancelled the
+// context — it never reached countDrops. Every send must end up
+// delivered, queued, or counted as a drop.
+func TestStopCountsInHandMessage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	downAddr := ln.Addr().String()
+	ln.Close() // deterministic connection-refused
+
+	const total = 5
+	sink := &sinkNode{}
+	n, err := NewNode(0, sink, "127.0.0.1:0", map[smr.NodeID]string{1: downAddr},
+		WithSendQueueCap(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run()
+	for i := 0; i < total; i++ {
+		n.Send(1, testMsg(uint64(i)))
+	}
+	// Wait until the writer has dequeued the head message and parked in
+	// dial backoff: the queue then shows total-1, with one in hand.
+	waitFor(t, func() bool { return n.Stats().Peers[1].Queued == total-1 }, "writer to hold one message in hand")
+	n.Stop()
+	// The writer counts its in-hand message on its (asynchronous) exit
+	// path; poll until it has.
+	waitFor(t, func() bool { return n.Stats().Peers[1].Drops > 0 },
+		"in-hand message to be counted on Stop")
+	st := n.Stats().Peers[1]
+	if got := int(st.Drops) + st.Queued; got != total {
+		t.Errorf("accounting leak: queued(%d) + drops(%d) = %d, want %d",
+			st.Queued, st.Drops, got, total)
+	}
+}
+
 func TestParsePeers(t *testing.T) {
 	peers, err := ParsePeers("0=a:1,1=b:2,1000=c:3")
 	if err != nil {

@@ -39,6 +39,12 @@ type clusterOpts struct {
 	seed       int64
 	delta      time.Duration
 	reqTimeout time.Duration
+	// probeInterval/probeTimeout enable the simulator's keepalive
+	// model (netsim.StartHealthMonitors over the replicas), feeding
+	// PeerDown/PeerUp events to the replicas like the live transport's
+	// prober does.
+	probeInterval time.Duration
+	probeTimeout  time.Duration
 }
 
 func newCluster(t *testing.T, opts clusterOpts) *cluster {
@@ -65,9 +71,11 @@ func newCluster(t *testing.T, opts clusterOpts) *cluster {
 		detections: make(map[smr.NodeID][]string),
 	}
 	c.net = netsim.New(netsim.Config{
-		Latency:   netsim.Uniform{Delay: opts.latency},
-		CostModel: crypto.DefaultCostModel(),
-		Seed:      opts.seed,
+		Latency:       netsim.Uniform{Delay: opts.latency},
+		CostModel:     crypto.DefaultCostModel(),
+		Seed:          opts.seed,
+		ProbeInterval: opts.probeInterval,
+		ProbeTimeout:  opts.probeTimeout,
 	})
 	for i := 0; i < n; i++ {
 		id := smr.NodeID(i)
@@ -114,6 +122,13 @@ func newCluster(t *testing.T, opts clusterOpts) *cluster {
 		cl := NewClient(id, ccfg)
 		c.clients = append(c.clients, cl)
 		c.net.AddNode(id, cl)
+	}
+	if opts.probeInterval > 0 {
+		ids := make([]smr.NodeID, n)
+		for i := range ids {
+			ids[i] = smr.NodeID(i)
+		}
+		c.net.StartHealthMonitors(ids...)
 	}
 	return c
 }

@@ -153,6 +153,12 @@ type Replica struct {
 	agreedVCSet map[smr.View]map[vcKey]*MsgViewChange
 	fset        map[smr.NodeID]bool
 	convicted   map[faultID]bool
+
+	// downPeers is the level view of the runtime's edge-triggered
+	// PeerDown/PeerUp health events: peers currently believed dead or
+	// partitioned from us. Consulted when a view installs, so a group
+	// containing a known-dead member is suspected immediately.
+	downPeers map[smr.NodeID]bool
 }
 
 // The queued marker remembers the request's signature digest because
@@ -233,6 +239,7 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		orderVerifying:     make(map[orderKey]bool),
 		replySigning:       make(map[watchKey]bool),
 		replySignVerifying: make(map[replySigID]bool),
+		downPeers:          make(map[smr.NodeID]bool),
 	}
 	r.asyncCrypto = !cfg.DisableAsyncCrypto
 	r.intake.init(cfg.IntakeQueueCap, cfg.IntakePerClient)
@@ -278,6 +285,53 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onRecv(e.From, e.Msg)
 	case smr.Async:
 		e.Apply() // completion of off-loop crypto (see goCrypto)
+	case smr.PeerDown:
+		r.onPeerDown(e)
+	case smr.PeerUp:
+		delete(r.downPeers, e.Peer)
+	}
+}
+
+// onPeerDown reacts to the runtime's connection-health signal: an
+// active-group member gone silent means the common case cannot make
+// progress in this view (every entry needs the whole synchronous
+// group), so suspect it now instead of waiting for a client
+// retransmission to arm a watch and time out. The fault detector thus
+// monitors continuously rather than auditing only at view change. The
+// peer is also remembered in downPeers (the events are edge-triggered;
+// the protocol wants level state), so a later view that rotates the
+// dead peer back into the group is suspected as soon as it installs —
+// see suspectDownGroupMembers.
+func (r *Replica) onPeerDown(e smr.PeerDown) {
+	if e.Peer == r.id {
+		return
+	}
+	r.downPeers[e.Peer] = true
+	if r.cfg.DisableProactiveSuspect {
+		return
+	}
+	if r.status != statusNormal || !r.isActive() {
+		return // the view-change timer owns fault handling mid-change
+	}
+	if !InGroup(r.n, r.t, r.view, e.Peer) {
+		return // passive peers do not gate progress; ignore
+	}
+	r.suspect(r.view)
+}
+
+// suspectDownGroupMembers suspects the current view if a synchronous
+// group member is already known dead — called when a view installs,
+// so the rotation skips past doomed groups at gossip speed instead of
+// burning a full view-change timeout rediscovering the same fault.
+func (r *Replica) suspectDownGroupMembers() {
+	if r.cfg.DisableProactiveSuspect || !r.isActive() {
+		return
+	}
+	for _, id := range r.group {
+		if id != r.id && r.downPeers[id] {
+			r.suspect(r.view)
+			return
+		}
 	}
 }
 

@@ -640,6 +640,10 @@ func (r *Replica) processNewView(m *MsgNewView) {
 	if r.isPrimary() {
 		r.flushBatches(true)
 	}
+	// If the rotation put a peer we already know is dead into the new
+	// group, move on immediately (keepalive level state; the events
+	// themselves fire only on transitions).
+	r.suspectDownGroupMembers()
 }
 
 // collectReplyDigests recomputes the reply root inputs for a batch

@@ -97,6 +97,18 @@ type Config struct {
 	CheckpointInterval uint64
 	// EnableFD turns on the fault-detection mechanism (Section 4.4).
 	EnableFD bool
+	// DisableProactiveSuspect turns off the replica's reaction to the
+	// runtime's connection-health signal. By default, an smr.PeerDown
+	// event naming a member of the current synchronous group makes an
+	// active replica suspect the view immediately — the keepalive
+	// prober (TCP transport) or the modeled link monitor (netsim)
+	// detects a dead or partitioned peer at probe-timeout granularity,
+	// well before a client retransmission would arm the Algorithm 4
+	// watch. The signal is advisory and local; reacting to it costs at
+	// worst a spurious view change, which the protocol tolerates by
+	// design. Disabling restores the retransmit-timeout-only fault
+	// path of the paper's baseline.
+	DisableProactiveSuspect bool
 	// DisableLazyReplication turns off lazy replication to passive
 	// replicas (Section 4.5.2); on by default.
 	DisableLazyReplication bool
