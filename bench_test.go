@@ -244,6 +244,28 @@ func BenchmarkAsyncCryptoSim(b *testing.B) {
 	}
 }
 
+// BenchmarkDurability measures what group commit buys the write-ahead
+// log on this host's real storage stack: an fsync per appended record
+// versus one fsync per pipeline-depth batch (32), as the replica's WAL
+// writer batches when the commit pipeline keeps records arriving. CI
+// gates per-entry-ns/rec ÷ group-ns/rec ≥ 2 (the durability acceptance
+// criterion); the absolute numbers are host-dependent and soft.
+func BenchmarkDurability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		perEntry, group, err := bench.DurabilityComparison(&buf, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + buf.String())
+		b.ReportMetric(perEntry, "per-entry-ns/rec")
+		b.ReportMetric(group, "group-ns/rec")
+		if group > 0 {
+			b.ReportMetric(perEntry/group, "amortize-x")
+		}
+	}
+}
+
 // BenchmarkPipelineThroughput measures common-case throughput of the
 // live n=3 cluster with real Ed25519 signatures under concurrent
 // closed-loop clients, comparing the lock-step configuration

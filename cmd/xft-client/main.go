@@ -2,6 +2,12 @@
 //
 //	xft-client -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 \
 //	           -listen :7100 create /config "v1"
+//
+// The replicas deliver replies over connections they dial themselves,
+// so each xft-server's -peers list must also name this client's id and
+// -listen address (e.g. append 1000=localhost:7100); a server cannot
+// route replies to an address it was never told.
+//
 //	xft-client ... get /config
 //	xft-client ... set /config "v2"
 //	xft-client ... ls /
@@ -72,19 +78,18 @@ func main() {
 		lat time.Duration
 	}
 	done := make(chan completion, *window+1)
-	cl := xpaxos.NewClient(smr.NodeID(*clientID), xpaxos.ClientConfig{
+	cl, err := xpaxos.NewClient(smr.NodeID(*clientID), xpaxos.ClientConfig{
 		N: n, T: *t, Suite: crypto.NewMeter(suite),
 		RequestTimeout: 2 * time.Second,
 		TSBase:         uint64(time.Now().UnixNano()),
 		Window:         *window,
 		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- completion{rep, lat} },
 	})
-	// NewClient clamps oversized windows (to the replicas' execution-
-	// dedupe width); the driver's in-flight accounting must use the
-	// effective value or Invoke panics.
-	if cl.Window() != *window {
-		log.Printf("window clamped from %d to %d", *window, cl.Window())
-		*window = cl.Window()
+	if err != nil {
+		log.Fatal(err) // e.g. -window above the replicas' dedupe width (64)
+	}
+	if *window < 1 {
+		*window = cl.Window() // driver accounting must match the effective window
 	}
 	node, err := transport.NewNode(smr.NodeID(*clientID), cl, *listen, peers, topts...)
 	if err != nil {

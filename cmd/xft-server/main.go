@@ -17,6 +17,13 @@
 // -tls-cert/-tls-key/-tls-ca paths to use provisioned certificates
 // (see -gen-certs for a starter set), or -insecure to run plaintext
 // for benchmarks on closed testbeds.
+//
+// Pass -data-dir to make the replica durable: every commit and stable
+// checkpoint is appended to a write-ahead log under that directory,
+// and a restarted replica replays it before rejoining — it comes back
+// with the state it had fsynced instead of an empty store (see the
+// "Durability" section of the README for the format and recovery
+// semantics).
 package main
 
 import (
@@ -25,19 +32,21 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/apps/zk"
 	"github.com/xft-consensus/xft/internal/crypto"
 	"github.com/xft-consensus/xft/internal/smr"
 	"github.com/xft-consensus/xft/internal/transport"
+	"github.com/xft-consensus/xft/internal/wal"
 	"github.com/xft-consensus/xft/internal/xpaxos"
 )
 
 func main() {
 	id := flag.Int("id", 0, "replica id (0..n-1)")
 	listen := flag.String("listen", ":7000", "listen address")
-	peersFlag := flag.String("peers", "", "comma-separated id=host:port for all replicas")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for all replicas (and any client reply addresses)")
 	t := flag.Int("t", 1, "fault threshold (n = 2t+1)")
 	delta := flag.Duration("delta", 500*time.Millisecond, "synchrony bound Δ")
 	seed := flag.Int64("seed", 1, "deterministic key seed (must match across the cluster)")
@@ -49,6 +58,7 @@ func main() {
 	tlsCert := flag.String("tls-cert", "", "PEM certificate file (default: derive from -seed)")
 	tlsKey := flag.String("tls-key", "", "PEM private key file")
 	tlsCA := flag.String("tls-ca", "", "PEM CA bundle file")
+	dataDir := flag.String("data-dir", "", "directory for the durable write-ahead log (empty = in-memory only)")
 	probeInterval := flag.Duration("probe-interval", 1*time.Second, "keepalive probe interval (0 = no health probing)")
 	probeTimeout := flag.Duration("probe-timeout", 0, "silence after which a peer is reported down (0 = 3x interval)")
 	genCerts := flag.String("gen-certs", "", "write seed-derived TLS certs for the cluster into this directory and exit")
@@ -102,7 +112,19 @@ func main() {
 			log.Printf("FAULT DETECTED: replica %d, kind=%s, sn=%d — replace the machine", culprit, kind, sn)
 		},
 	}
+	if *dataDir != "" {
+		wlog, err := wal.Open(filepath.Join(*dataDir, "wal"), wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.WAL = wlog
+	}
 	replica := xpaxos.NewReplica(smr.NodeID(*id), cfg, zk.NewStore())
+	if *dataDir != "" {
+		// NewReplica replayed the log before the transport attaches.
+		log.Printf("recovered from WAL: sn=%d view=%d (data-dir %s)",
+			replica.Executed(), replica.View(), *dataDir)
+	}
 	node, err := transport.NewNode(smr.NodeID(*id), replica, *listen, peers, opts...)
 	if err != nil {
 		log.Fatal(err)

@@ -41,13 +41,16 @@ func main() {
 		replicas[i] = xpaxos.NewReplica(smr.NodeID(i), cfg, kv.NewStore())
 		net.AddNode(smr.NodeID(i), replicas[i])
 	}
-	client := xpaxos.NewClient(1000, xpaxos.ClientConfig{
+	client, err := xpaxos.NewClient(1000, xpaxos.ClientConfig{
 		N: 3, T: 1, Suite: crypto.NewMeter(suite), RequestTimeout: 200 * time.Millisecond,
 		OnCommit: func(op, rep []byte, lat time.Duration) {
 			fmt.Printf("  %7v  client committed its request (latency %v)\n",
 				net.Now().Round(time.Millisecond), lat.Round(time.Millisecond))
 		},
 	})
+	if err != nil {
+		panic(err)
+	}
 	net.AddNode(1000, client)
 
 	fmt.Println("view 0: synchronous group (s0, s1); committing r0")

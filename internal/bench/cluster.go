@@ -221,7 +221,7 @@ func Build(spec Spec) *Cluster {
 		for i := 0; i < spec.Clients; i++ {
 			id := smr.ClientIDBase + smr.NodeID(i)
 			cb := new(func(op, rep []byte, lat time.Duration))
-			cl := xpaxos.NewClient(id, xpaxos.ClientConfig{
+			cl, err := xpaxos.NewClient(id, xpaxos.ClientConfig{
 				N: n, T: spec.T, Suite: crypto.NewMeter(suite),
 				RequestTimeout: timeouts.req,
 				OnCommit: func(op, rep []byte, lat time.Duration) {
@@ -230,6 +230,9 @@ func Build(spec Spec) *Cluster {
 					}
 				},
 			})
+			if err != nil {
+				panic(err)
+			}
 			net.AddNode(id, cl)
 			c.clients = append(c.clients, &clientHandle{id: id, invoke: cl.Invoke, onCommit: cb})
 		}

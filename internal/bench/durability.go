@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/wal"
+)
+
+// groupCommitDepth is the batch the group-commit leg covers with one
+// fsync — matched to the replica pipeline depth the durability design
+// targets (PipelineWindow 32), so the measured amortization is the one
+// the WAL writer actually sees at a saturated pipeline.
+const groupCommitDepth = 32
+
+// DurabilityComparison measures what group commit buys on the real
+// disk: the same record stream is appended to a fresh write-ahead log
+// once with an fsync per record (the naive durable loop) and once in
+// batches of groupCommitDepth covered by a single fsync (what the
+// replica's WAL writer does when the pipeline keeps records arriving
+// while a batch is in flight). Returns the per-record cost of both
+// legs in nanoseconds. Unlike the simulator experiments this measures
+// the host's actual storage stack, so absolute numbers vary across
+// machines — the gated quantity is the ratio.
+func DurabilityComparison(w io.Writer, sc Scale) (perEntryNs, groupNs float64, err error) {
+	records, payload := 2048, 256
+	if sc.Quick {
+		records = 256
+	}
+	buf := make([]byte, payload)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+
+	run := func(depth int) (float64, error) {
+		dir, err := os.MkdirTemp("", "xft-durability-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		log, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			return 0, err
+		}
+		defer log.Close()
+		start := time.Now()
+		for i := 0; i < records; i++ {
+			if _, err := log.Append(buf); err != nil {
+				return 0, err
+			}
+			if (i+1)%depth == 0 || i == records-1 {
+				if err := log.Sync(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(records), nil
+	}
+
+	if perEntryNs, err = run(1); err != nil {
+		return 0, 0, err
+	}
+	if groupNs, err = run(groupCommitDepth); err != nil {
+		return 0, 0, err
+	}
+
+	fmt.Fprintf(w, "WAL group commit, %d records of %d B\n", records, payload)
+	fmt.Fprintf(w, "fsync per record:        %10.0f ns/record\n", perEntryNs)
+	fmt.Fprintf(w, "group commit (depth %d): %10.0f ns/record\n", groupCommitDepth, groupNs)
+	if groupNs > 0 {
+		fmt.Fprintf(w, "amortization: %.2fx\n", perEntryNs/groupNs)
+	}
+	return perEntryNs, groupNs, nil
+}

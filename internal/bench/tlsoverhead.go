@@ -88,12 +88,15 @@ func runLoopbackCluster(withTLS bool, ops, window int) loopbackResult {
 
 	type completion struct{ lat time.Duration }
 	done := make(chan completion, window+1)
-	cl := xpaxos.NewClient(clientID, xpaxos.ClientConfig{
+	cl, err := xpaxos.NewClient(clientID, xpaxos.ClientConfig{
 		N: n, T: tf, Suite: suite,
 		RequestTimeout: 5 * time.Second,
 		Window:         window,
 		OnCommit:       func(op, rep []byte, lat time.Duration) { done <- completion{lat} },
 	})
+	if err != nil {
+		panic(err)
+	}
 	cnode, err := transport.NewNode(clientID, cl, "127.0.0.1:0", peers, secure(clientID)...)
 	if err != nil {
 		panic(err)

@@ -51,6 +51,13 @@ type Config struct {
 	EgressBytesPerSec float64
 	// CostModel prices cryptographic work on the simulated CPUs.
 	CostModel crypto.CostModel
+	// FsyncCost is the modeled latency of one durable-storage job (a
+	// WAL group commit: buffered appends plus one fsync). Jobs whose
+	// Defer kind satisfies smr.IsDurableKind serialize on a per-node
+	// disk unit charged this much each, overlapping the CPU, the crypto
+	// units and the network exactly as the live runtime's deferred WAL
+	// writer does. Zero models free durability.
+	FsyncCost time.Duration
 	// Seed drives all randomness.
 	Seed int64
 	// ProbeInterval and ProbeTimeout model the live transport's
@@ -177,15 +184,34 @@ func (n *Network) ReplaceNode(id smr.NodeID, node smr.Node) {
 	sn.queue = nil
 	sn.gen++ // orphan the old incarnation's in-flight deferred work
 	sn.deferred = sn.deferred[:0]
-	// The replacement gets idle crypto units: the orphaned jobs' modeled
-	// backlog died with the old incarnation.
-	sn.signFreeAt, sn.verifyFreeAt = 0, 0
+	// The replacement gets idle crypto and disk units: the orphaned
+	// jobs' modeled backlog died with the old incarnation.
+	sn.signFreeAt, sn.verifyFreeAt, sn.diskFreeAt = 0, 0, 0
 	for _, t := range sn.timers {
 		t.Cancel()
 	}
 	sn.timers = make(map[smr.TimerID]*sim.Timer)
 	node.Init(sn)
 	sn.enqueue(smr.Start{})
+}
+
+// Restart models a crash-with-disk recovery: the node must currently
+// be crashed (Crash), and node is its new incarnation — typically
+// rebuilt from the durable state the old one persisted (e.g. an XPaxos
+// replica reconstructed from its WAL). Volatile state (queued events,
+// timers, in-flight deferred work) is gone, exactly as with
+// ReplaceNode; the difference is purely in what the caller passes in.
+// The restarted node processes a fresh Start event.
+func (n *Network) Restart(id smr.NodeID, node smr.Node) {
+	sn, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: restart of unknown node %d", id))
+	}
+	if !sn.crashed {
+		panic(fmt.Sprintf("netsim: restart of node %d that is not crashed", id))
+	}
+	sn.crashed = false
+	n.ReplaceNode(id, node)
 }
 
 // Node returns the smr.Node registered under id.
@@ -238,8 +264,8 @@ func (n *Network) Recover(id smr.NodeID) {
 	}
 	sn.crashed = false
 	// The crash orphaned all deferred work (gen bump), so the recovered
-	// node's crypto units start idle.
-	sn.signFreeAt, sn.verifyFreeAt = 0, 0
+	// node's crypto and disk units start idle.
+	sn.signFreeAt, sn.verifyFreeAt, sn.diskFreeAt = 0, 0, 0
 	sn.enqueue(smr.Start{})
 }
 
@@ -425,6 +451,11 @@ type simNode struct {
 	// serialize (the pool is one resource, however parallel inside).
 	signFreeAt   time.Duration
 	verifyFreeAt time.Duration
+	// diskFreeAt models the node's durable-storage unit: deferred jobs
+	// with a durable kind (smr.IsDurableKind) serialize here at
+	// Config.FsyncCost each, so group commit's fsync latency overlaps
+	// the loop and the crypto units in virtual time.
+	diskFreeAt time.Duration
 
 	// Egress serialization.
 	egressFreeAt time.Duration
@@ -566,7 +597,13 @@ func (sn *simNode) processNext() {
 		work := dj.window.Cost(sn.net.cfg.CostModel)
 		elapsed := dj.window.Elapsed(sn.net.cfg.CostModel)
 		unit := &sn.verifyFreeAt
-		if dj.window.Signs > 0 {
+		switch {
+		case smr.IsDurableKind(dj.kind):
+			// Disk job: the time on the unit is the modeled fsync, not
+			// CPU (any crypto it metered still costs CPU below).
+			unit = &sn.diskFreeAt
+			elapsed += sn.net.cfg.FsyncCost
+		case dj.window.Signs > 0:
 			unit = &sn.signFreeAt
 		}
 		start := done

@@ -214,6 +214,11 @@ func (ln *liveNode) CancelTimer(id TimerID) { ln.timers.Cancel(id) }
 // machines track in-flight deferred work, and a silently lost
 // completion would strand that bookkeeping forever. The send blocks
 // until the inbox drains or the node stops.
+//
+// Jobs of different kinds run concurrently with no ordering guarantee;
+// callers needing FIFO (the replica's durable WAL writer, which must
+// append records in commit order) keep one job in flight and dispatch
+// the next from the previous apply.
 func (ln *liveNode) Defer(kind string, work func(), apply func()) {
 	ln.rt.deferWg.Add(1)
 	go func() {

@@ -14,6 +14,7 @@
 package smr
 
 import (
+	"strings"
 	"time"
 )
 
@@ -159,9 +160,23 @@ type Env interface {
 	// processed between Defer and the Async delivery, so apply must
 	// re-validate any state it depends on. Runtimes without off-loop
 	// execution (unit-test stubs) may run work and apply synchronously
-	// before returning.
+	// before returning. Durable-storage jobs use kinds recognized by
+	// IsDurableKind so resource-modeling runtimes charge them to the
+	// disk rather than a crypto unit.
 	Defer(kind string, work func(), apply func())
 }
+
+// DeferKindWAL is the Env.Defer kind used for write-ahead-log group
+// commits: the work half appends records and fsyncs; the apply half
+// releases the next batch.
+const DeferKindWAL = "wal-commit"
+
+// IsDurableKind reports whether a Defer kind names durable-storage
+// work (disk write + fsync) rather than crypto. The simulator routes
+// such jobs to a per-node disk unit charged at the modeled fsync cost,
+// so durability overlaps crypto and networking in virtual time exactly
+// as it does on the live runtime.
+func IsDurableKind(kind string) bool { return strings.HasPrefix(kind, "wal") }
 
 // Node is an event-driven protocol participant (replica or client).
 type Node interface {

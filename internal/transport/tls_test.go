@@ -464,11 +464,14 @@ func TestTLSClusterCommits(t *testing.T) {
 	}
 
 	committed := make(chan []byte, numOps)
-	cl := xpaxos.NewClient(clientD, xpaxos.ClientConfig{
+	cl, err := xpaxos.NewClient(clientD, xpaxos.ClientConfig{
 		N: n, T: tf, Suite: suite,
 		RequestTimeout: 2 * time.Second,
 		OnCommit:       func(op, rep []byte, lat time.Duration) { committed <- rep },
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cnode, err := NewNode(clientD, cl, "127.0.0.1:0", peers, WithTLS(autoTLS(t, suite, clientD)))
 	if err != nil {
 		t.Fatal(err)

@@ -91,6 +91,10 @@ func (r *Replica) restoreState(snap []byte) bool {
 // candidate until the checkpoint stabilizes.
 // (declared on Replica lazily through map below)
 
+// maxPendingSnaps bounds how many checkpoint-candidate snapshots a
+// replica retains while awaiting stabilization.
+const maxPendingSnaps = 8
+
 // maybeCheckpoint is called right after executing sequence number sn.
 // At every CHK-th batch the replica votes prechk (MAC-authenticated).
 func (r *Replica) maybeCheckpoint(sn smr.SeqNum) {
@@ -103,6 +107,19 @@ func (r *Replica) maybeCheckpoint(sn smr.SeqNum) {
 		r.pendingSnaps = make(map[smr.SeqNum][]byte)
 	}
 	r.pendingSnaps[sn] = snap
+	// Bound the retained candidates: a passive replica whose lazychk
+	// stream is shed would otherwise accumulate one full snapshot per
+	// interval forever. A checkpoint stabilizing at a dropped height is
+	// adopted through the view-change state transfer instead.
+	for len(r.pendingSnaps) > maxPendingSnaps {
+		oldest := sn
+		for s := range r.pendingSnaps {
+			if s < oldest {
+				oldest = s
+			}
+		}
+		delete(r.pendingSnaps, oldest)
+	}
 	if !r.isActive() {
 		return // passive replicas snapshot locally but do not vote
 	}
@@ -236,8 +253,11 @@ func (r *Replica) stabilizeCheckpoint(proof CheckpointProof, snap []byte) {
 			delete(r.pendingEntries, sn)
 		}
 	}
+	// The stable point's own snapshot is kept in chkSnapshot, so the
+	// pending copy at proof.SN is dead too (<=, not <: keeping it was
+	// a per-checkpoint leak).
 	for sn := range r.pendingSnaps {
-		if sn < proof.SN {
+		if sn <= proof.SN {
 			delete(r.pendingSnaps, sn)
 		}
 	}
@@ -251,6 +271,7 @@ func (r *Replica) stabilizeCheckpoint(proof CheckpointProof, snap []byte) {
 			delete(r.prechkVotes, sn)
 		}
 	}
+	r.logCheckpoint(&proof, snap)
 }
 
 // adoptCheckpoint installs a checkpoint received through a view change
@@ -266,6 +287,16 @@ func (r *Replica) adoptCheckpoint(proof CheckpointProof, snap []byte) {
 		r.ex = proof.SN
 		if r.sn < r.ex {
 			r.sn = r.ex
+		}
+		// The fast-forward executed requests wholesale (through the
+		// snapshot) without passing applyBatch, so the per-(client, ts)
+		// dedupe markers of requests it covered were never cleared.
+		// Prune them here, or every fast-forward strands a batch of
+		// markers forever (the executed window owns dedupe from now on).
+		for key := range r.queued {
+			if r.lastExec[key.Client].executed(key.TS) {
+				delete(r.queued, key)
+			}
 		}
 	}
 	r.stabilizeCheckpoint(proof, snap)
@@ -343,6 +374,7 @@ func (r *Replica) onLazyCommit(from smr.NodeID, m *MsgLazyCommit) {
 		r.group = SyncGroup(r.n, r.t, r.view)
 	}
 	r.commitLog[sn] = &entry
+	r.logCommitEntry(&entry)
 	r.notifyCommit(&entry)
 	r.executePassive()
 }

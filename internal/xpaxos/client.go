@@ -25,7 +25,8 @@ type ClientConfig struct {
 	// Deployments should keep Window at or below the replicas'
 	// IntakePerClient quota, or the overflow is shed at the primary
 	// and recovered only by retransmission. Values above 64 (the
-	// replicas' per-client execution-dedupe window) are clamped.
+	// replicas' per-client execution-dedupe window) are rejected by
+	// NewClient.
 	Window int
 	// TSBase is the starting client timestamp. A client identity that
 	// may be reused across process restarts (cmd/xft-client) must set
@@ -79,8 +80,18 @@ type Client struct {
 	Retransmits uint64
 }
 
-// NewClient builds a client.
-func NewClient(id smr.NodeID, cfg ClientConfig) *Client {
+// NewClient builds a client. It returns an error if the configuration
+// asks for more outstanding requests than the replicas can dedupe: the
+// per-client execution window is execWindowBits timestamps, and a
+// request older than the window is treated as already executed, so a
+// wider client window could have stale requests silently swallowed.
+// (Earlier versions clamped the window instead, which turned an unsafe
+// configuration into a silent behavior change.)
+func NewClient(id smr.NodeID, cfg ClientConfig) (*Client, error) {
+	if cfg.Window > execWindowBits {
+		return nil, fmt.Errorf("xpaxos: ClientConfig.Window %d exceeds the replicas' per-client execution-dedupe window (%d)",
+			cfg.Window, execWindowBits)
+	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 4 * 1250 * time.Millisecond
 	}
@@ -93,18 +104,11 @@ func NewClient(id smr.NodeID, cfg ClientConfig) *Client {
 	if cfg.Window <= 0 {
 		cfg.Window = 1
 	}
-	if cfg.Window > execWindowBits {
-		// The replicas dedupe per-client execution over a window of
-		// execWindowBits timestamps; more outstanding requests than
-		// that could be silently swallowed as "already executed", so
-		// the window is clamped rather than trusted.
-		cfg.Window = execWindowBits
-	}
 	return &Client{
 		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, ts: cfg.TSBase,
 		pending: make(map[uint64]*pendingReq),
 		timers:  make(map[smr.TimerID]uint64),
-	}
+	}, nil
 }
 
 // Init implements smr.Node.

@@ -1,0 +1,232 @@
+package xpaxos
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wal"
+)
+
+// TestCrashRecoveryMatrix crashes a WAL-backed replica at three disk
+// states relative to its last committed entry — after the fsync, after
+// the append but before the fsync (torn tail), and before the append —
+// and asserts the recovered state is always a prefix of what the
+// cluster committed, weakly shrinking across the three points. The
+// replica then rejoins the live cluster and the cluster keeps
+// committing: either the follower resumes in place (nothing lost) or
+// the gap stalls its certificate stream until a view change transfers
+// the state it is missing.
+//
+// The simulator runs deferred disk jobs inline during Step, so the
+// segment contents at the crash instant are deterministic and the
+// "crash point" is carved by direct file surgery on the closed log.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	var mPost, mTorn, mPre int
+	t.Run("post-fsync", func(t *testing.T) { mPost = runCrashPoint(t, "post-fsync") })
+	t.Run("torn-tail", func(t *testing.T) { mTorn = runCrashPoint(t, "torn-tail") })
+	t.Run("pre-append", func(t *testing.T) { mPre = runCrashPoint(t, "pre-append") })
+	if t.Failed() {
+		return
+	}
+	if !(mPost >= mTorn && mTorn >= mPre) {
+		t.Errorf("recovered prefixes not monotone: post-fsync=%d torn-tail=%d pre-append=%d", mPost, mTorn, mPre)
+	}
+}
+
+// runCrashPoint returns the length of the op prefix the crashed
+// replica recovered from its disk.
+func runCrashPoint(t *testing.T, point string) int {
+	const (
+		rounds1 = 10
+		rounds2 = 8
+		chk     = 4
+	)
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	c := newCluster(t, clusterOpts{
+		clients: 1,
+		cfgMod: func(id smr.NodeID, cfg *Config) {
+			cfg.CheckpointInterval = chk
+			if id == 1 {
+				cfg.WAL = wlog
+			}
+		},
+	})
+
+	// Round 1: one closed-loop client, one distinct key per op, so the
+	// recovered store reveals exactly which ops survived on disk.
+	keys1 := make([]string, rounds1)
+	ops1 := make([][]byte, rounds1)
+	for i := range ops1 {
+		keys1[i] = fmt.Sprintf("r1-%02d", i)
+		ops1[i] = kv.PutOp(keys1[i], []byte(keys1[i]))
+	}
+	done := c.invokeSeq(0, ops1, nil)
+	c.run(5 * time.Second)
+	if *done != rounds1 {
+		t.Fatalf("round 1: %d/%d ops committed", *done, rounds1)
+	}
+	c.run(time.Second) // quiesce: checkpoints stabilize, the WAL drains
+	crashed := c.replicas[1]
+	exAtCrash := crashed.ex
+	if exAtCrash != rounds1 {
+		t.Fatalf("replica 1 executed to %d before the crash, want %d", exAtCrash, rounds1)
+	}
+	if err := crashed.WALError(); err != nil {
+		t.Fatalf("WAL failed during load: %v", err)
+	}
+
+	// Crash, then carve the requested disk state into the closed log.
+	c.net.Crash(1)
+	if err := wlog.Close(); err != nil {
+		t.Fatalf("wal.Close: %v", err)
+	}
+	segs, err := wal.SegmentFiles(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segment listing: %v (%d segments)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	recs, err := wal.InspectSegment(last)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("inspect %s: %v (%d records)", last, err, len(recs))
+	}
+	var commitIdx []int
+	for i, rec := range recs {
+		if len(rec.Payload) > 0 && rec.Payload[0] == walRecCommit {
+			commitIdx = append(commitIdx, i)
+		}
+	}
+	if len(commitIdx) < 2 {
+		t.Fatalf("only %d commit records in the tail segment", len(commitIdx))
+	}
+	switch point {
+	case "post-fsync":
+		// Everything reached the disk; the log is intact.
+	case "torn-tail":
+		// The final record was appended but the fsync never completed:
+		// cut mid-frame so a partial record trails the log.
+		tail := recs[len(recs)-1]
+		if err := os.Truncate(last, tail.Offset+6); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+	case "pre-append":
+		// The crash preceded the append entirely: cut cleanly at the
+		// second-to-last commit record, losing it and everything after.
+		cut := recs[commitIdx[len(commitIdx)-2]]
+		if err := os.Truncate(last, cut.Offset); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+	default:
+		t.Fatalf("unknown crash point %q", point)
+	}
+
+	// Recover a fresh replica from the surgically damaged disk.
+	wlog2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open after crash: %v", err)
+	}
+	store2 := kv.NewStore()
+	cfg2 := Config{
+		N: c.n, T: c.tf,
+		Suite:              crypto.NewMeter(c.suite),
+		Delta:              100 * time.Millisecond,
+		BatchSize:          4,
+		BatchTimeout:       2 * time.Millisecond,
+		RequestTimeout:     500 * time.Millisecond,
+		ViewChangeTimeout:  400 * time.Millisecond,
+		CheckpointInterval: chk,
+		WAL:                wlog2,
+	}
+	cfg2.Observer = func(cm smr.Committed) {
+		byReq, ok := c.commits[cm.Replica]
+		if !ok {
+			byReq = make(map[watchKey][]smr.Committed)
+			c.commits[cm.Replica] = byReq
+		}
+		k := watchKey{Client: cm.Client, TS: cm.ClientTS}
+		byReq[k] = append(byReq[k], cm)
+	}
+	r2 := NewReplica(1, cfg2, store2)
+
+	// The recovered state must be a strict prefix of the committed log.
+	m := prefixLen(t, store2, keys1)
+	if smr.SeqNum(m) != r2.Executed() {
+		t.Fatalf("store holds %d ops but the replica recovered to %d", m, r2.Executed())
+	}
+	if r2.Executed() < r2.chk.SN {
+		t.Fatalf("recovered execution %d behind the recovered checkpoint %d", r2.Executed(), r2.chk.SN)
+	}
+	if r2.chk.SN%chk != 0 {
+		t.Fatalf("recovered checkpoint at %d, not a multiple of the interval %d", r2.chk.SN, chk)
+	}
+	switch point {
+	case "post-fsync":
+		if smr.SeqNum(m) != exAtCrash {
+			t.Fatalf("intact log recovered %d ops, the replica had executed %d", m, exAtCrash)
+		}
+	default:
+		if smr.SeqNum(m) >= exAtCrash {
+			t.Fatalf("%s recovered %d ops despite losing the tail (crash height %d)", point, m, exAtCrash)
+		}
+	}
+
+	// Rejoin from disk and keep the cluster committing.
+	c.net.Restart(1, r2)
+	c.replicas[1] = r2
+	c.stores[1] = store2
+	keys2 := make([]string, rounds2)
+	ops2 := make([][]byte, rounds2)
+	for i := range ops2 {
+		keys2[i] = fmt.Sprintf("r2-%02d", i)
+		ops2[i] = kv.PutOp(keys2[i], []byte(keys2[i]))
+	}
+	done2 := c.invokeSeq(0, ops2, nil)
+	c.run(10 * time.Second)
+	if *done2 != rounds2 {
+		t.Fatalf("round 2 after rejoin: %d/%d ops committed", *done2, rounds2)
+	}
+	c.run(2 * time.Second) // quiesce: lazy replication catches stragglers up
+	for _, id := range []int{0, 2} {
+		for _, k := range keys2 {
+			if _, ok := c.stores[id].Get(k); !ok {
+				t.Fatalf("replica %d missing round-2 key %q", id, k)
+			}
+		}
+	}
+	if r2.Executed() <= exAtCrash {
+		t.Errorf("rejoined replica stuck at %d (crash height %d): never caught up", r2.Executed(), exAtCrash)
+	}
+	c.checkLemma1()
+	return m
+}
+
+// prefixLen asserts the store holds some prefix of keys (each mapped
+// to itself) and nothing beyond it, returning the prefix length.
+func prefixLen(t *testing.T, st *kv.Store, keys []string) int {
+	t.Helper()
+	m := 0
+	for m < len(keys) {
+		v, ok := st.Get(keys[m])
+		if !ok {
+			break
+		}
+		if string(v) != keys[m] {
+			t.Fatalf("key %q holds %q, want %q", keys[m], v, keys[m])
+		}
+		m++
+	}
+	for j := m; j < len(keys); j++ {
+		if _, ok := st.Get(keys[j]); ok {
+			t.Fatalf("state is not a prefix: key %q present but %q absent", keys[j], keys[m])
+		}
+	}
+	return m
+}

@@ -119,7 +119,10 @@ func newCluster(t *testing.T, opts clusterOpts) *cluster {
 		if opts.clientMod != nil {
 			opts.clientMod(id, &ccfg)
 		}
-		cl := NewClient(id, ccfg)
+		cl, err := NewClient(id, ccfg)
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
 		c.clients = append(c.clients, cl)
 		c.net.AddNode(id, cl)
 	}

@@ -415,13 +415,16 @@ func TestForgedBlastLive(t *testing.T) {
 	}
 	clientID := smr.ClientIDBase
 	committed := make(chan struct{}, 64)
-	cl := NewClient(clientID, ClientConfig{
+	cl, err := NewClient(clientID, ClientConfig{
 		N: n, T: 1, Suite: crypto.NewMeter(suite),
 		// Generous: under -race on a small host a commit takes a while,
 		// and premature retransmission broadcasts only add crypto load.
 		RequestTimeout: 2 * time.Second,
 		OnCommit:       func(op, rep []byte, lat time.Duration) { committed <- struct{}{} },
 	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
 	rt.AddNode(clientID, cl)
 	rt.Start()
 	defer rt.Stop()

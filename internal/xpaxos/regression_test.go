@@ -1,0 +1,118 @@
+package xpaxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// regressionConfig builds the minimal valid replica config the pruning
+// tests below need; no runtime is attached, so callbacks stay nil.
+func regressionConfig() Config {
+	return Config{
+		N: 3, T: 1,
+		Suite:             crypto.NewMeter(crypto.NewSimSuite(7)),
+		Delta:             100 * time.Millisecond,
+		BatchSize:         4,
+		RequestTimeout:    500 * time.Millisecond,
+		ViewChangeTimeout: 400 * time.Millisecond,
+	}
+}
+
+// TestClientWindowRejected pins the fix for the silent clamp: a client
+// window wider than the replicas' per-client execution-dedupe window
+// (execWindowBits) used to be accepted and quietly truncated, leaving
+// the caller's own in-flight accounting out of sync with the cluster.
+// NewClient must refuse it outright.
+func TestClientWindowRejected(t *testing.T) {
+	base := ClientConfig{N: 3, T: 1, Suite: crypto.NewMeter(crypto.NewSimSuite(7))}
+
+	cfg := base
+	cfg.Window = execWindowBits + 1
+	if _, err := NewClient(smr.ClientIDBase, cfg); err == nil {
+		t.Fatalf("Window %d accepted; want an error (dedupe window is %d)", cfg.Window, execWindowBits)
+	}
+
+	cfg = base
+	cfg.Window = execWindowBits
+	cl, err := NewClient(smr.ClientIDBase, cfg)
+	if err != nil {
+		t.Fatalf("Window %d rejected: %v", execWindowBits, err)
+	}
+	if cl.Window() != execWindowBits {
+		t.Fatalf("Window = %d, want %d", cl.Window(), execWindowBits)
+	}
+
+	cfg = base // Window zero still defaults to the closed loop
+	cl, err = NewClient(smr.ClientIDBase, cfg)
+	if err != nil {
+		t.Fatalf("default window rejected: %v", err)
+	}
+	if cl.Window() != 1 {
+		t.Fatalf("default Window = %d, want 1", cl.Window())
+	}
+}
+
+// TestAdoptCheckpointPrunesDedupe pins the checkpoint fast-forward
+// leak: a lagging replica that adopts a checkpoint executes the covered
+// requests wholesale through the snapshot, so their per-(client, ts)
+// queued markers never passed applyBatch and used to strand forever.
+func TestAdoptCheckpointPrunesDedupe(t *testing.T) {
+	client := smr.ClientIDBase
+
+	donor := NewReplica(0, regressionConfig(), kv.NewStore())
+	for i := 1; i <= 8; i++ {
+		b := Batch{Reqs: []Request{{
+			Op: kv.PutOp(fmt.Sprintf("k%02d", i), []byte("v")), TS: uint64(i), Client: client,
+		}}}
+		donor.applyBatch(&b, smr.SeqNum(i), 0)
+		donor.ex = smr.SeqNum(i)
+	}
+	snap := donor.snapshotState()
+	proof := CheckpointProof{SN: 8, StateD: crypto.Hash(snap)}
+
+	lag := NewReplica(1, regressionConfig(), kv.NewStore())
+	for i := 1; i <= 9; i++ { // ts 9 is beyond the checkpoint: must survive
+		lag.queued[watchKey{Client: client, TS: uint64(i)}] = crypto.Digest{}
+	}
+	lag.pendingSnaps = map[smr.SeqNum][]byte{2: {1}, 4: {1}, 8: {1}}
+
+	lag.adoptCheckpoint(proof, snap)
+
+	if lag.ex != 8 {
+		t.Fatalf("fast-forward executed to %d, want 8", lag.ex)
+	}
+	if len(lag.queued) != 1 {
+		t.Fatalf("queued holds %d markers after fast-forward, want 1 (only the uncovered ts)", len(lag.queued))
+	}
+	if _, ok := lag.queued[watchKey{Client: client, TS: 9}]; !ok {
+		t.Fatalf("the uncovered marker (ts 9) was pruned")
+	}
+	if len(lag.pendingSnaps) != 0 {
+		t.Fatalf("pendingSnaps holds %d snapshots at or below the stable point, want 0", len(lag.pendingSnaps))
+	}
+}
+
+// TestPendingSnapshotsBounded pins the passive-replica snapshot leak: a
+// passive replica whose lazychk stream is shed kept one full snapshot
+// per checkpoint interval forever. The candidate map must stay bounded.
+func TestPendingSnapshotsBounded(t *testing.T) {
+	cfg := regressionConfig()
+	cfg.CheckpointInterval = 1
+	r := NewReplica(2, cfg, kv.NewStore()) // id 2 is passive in view 0: no votes sent
+	for i := 1; i <= 4*maxPendingSnaps; i++ {
+		r.maybeCheckpoint(smr.SeqNum(i))
+	}
+	if len(r.pendingSnaps) > maxPendingSnaps {
+		t.Fatalf("pendingSnaps grew to %d candidates, cap is %d", len(r.pendingSnaps), maxPendingSnaps)
+	}
+	// The newest candidates are the ones a late-stabilizing checkpoint
+	// can still use; eviction must discard oldest-first.
+	if _, ok := r.pendingSnaps[smr.SeqNum(4*maxPendingSnaps)]; !ok {
+		t.Fatalf("newest candidate was evicted; eviction must be oldest-first")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/xft-consensus/xft/internal/crypto"
 	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wal"
 	"github.com/xft-consensus/xft/internal/wire"
 )
 
@@ -140,6 +141,16 @@ type Replica struct {
 	prechkVotes  map[smr.SeqNum]map[smr.NodeID]crypto.Digest
 	chkptVotes   map[smr.SeqNum]map[smr.NodeID]ChkptRecord
 
+	// Durability (durability.go). walPending and walInFlight survive
+	// view changes — enterView must not reset them: unlike the crypto
+	// pipeline, the durable log spans views, and the in-flight flag is
+	// released by a completion that is deliberately not epoch-guarded.
+	wal         *wal.Log
+	walPending  []walRecord
+	walInFlight bool
+	walErr      error
+	walDropped  uint64
+
 	// View change (viewchange.go).
 	seenSuspects map[suspectKey]bool
 	vcState      *vcState
@@ -252,6 +263,10 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		r.verifyPool = crypto.SharedPool()
 	}
 	r.group = SyncGroup(r.n, r.t, 0)
+	if cfg.WAL != nil {
+		r.wal = cfg.WAL
+		r.recoverFromWAL()
+	}
 	return r
 }
 
@@ -885,6 +900,7 @@ func (r *Replica) drainFollowerT1() {
 				}
 				entry := &CommitEntry{Batch: e.Batch, Primary: e.Primary, Commits: []Order{*m1}}
 				r.commitLog[sn] = entry
+				r.logCommitEntry(entry)
 				r.notifyCommit(entry)
 				r.env.Send(r.primary(), &MsgCommit{Order: *m1})
 				r.lazyReplicate(entry)
@@ -1013,6 +1029,7 @@ func (r *Replica) tryAssemble(sn smr.SeqNum) {
 	}
 	entry := &CommitEntry{Batch: pe.Batch, Primary: pe.Primary, Commits: commits}
 	r.commitLog[sn] = entry
+	r.logCommitEntry(entry)
 	delete(r.pendingCommits, sn)
 	r.notifyCommit(entry)
 	if sn <= r.ex {
@@ -1040,47 +1057,94 @@ func (r *Replica) tryExecute() {
 		tss, reps := r.applyBatch(&entry.Batch, sn, entry.View())
 		r.ex = sn
 		r.maybeCheckpoint(sn)
-		digs := make([]crypto.Digest, len(reps))
-		for i, rep := range reps {
-			digs[i] = crypto.Hash(rep)
-		}
-		if r.t == 1 && r.isPrimary() {
-			// Check the follower's reply digest (Section 4.2.2) before
-			// answering clients: a mismatch means one of us diverged.
-			leaves := ReplyLeaves(tss, digs)
-			root := crypto.MerkleRoot(leaves)
-			if entry.Commits[0].RepRoot != root {
-				r.suspect(r.view)
-				return
-			}
-			m1 := entry.Commits[0]
-			for i := range entry.Batch.Reqs {
-				req := &entry.Batch.Reqs[i]
-				rep := MsgReply{
-					From: r.id, SN: sn, View: r.view, TS: tss[i], Rep: reps[i],
-					Proof: crypto.BuildMerkleProof(leaves, i), FollowerCommit: &m1,
-				}
-				rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
-				r.env.Send(req.Client, &rep)
-			}
-		} else if r.t >= 2 {
-			for i := range entry.Batch.Reqs {
-				req := &entry.Batch.Reqs[i]
-				if r.isPrimary() {
-					rep := MsgReply{From: r.id, SN: sn, View: r.view, TS: tss[i], Rep: reps[i]}
-					rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
-					r.env.Send(req.Client, &rep)
-				} else {
-					rep := MsgReplyDigest{From: r.id, SN: sn, View: r.view, TS: tss[i], RepDigest: digs[i]}
-					rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
-					r.env.Send(req.Client, &rep)
-				}
-			}
+		r.sendReplies(entry, sn, tss, reps)
+		if r.status != statusNormal {
+			// Synchronous mode can suspect inline (reply-root mismatch);
+			// stop executing into a view change like the classic path.
+			return
 		}
 	}
 	// Execution advanced, freeing pipeline slots: the primary drains the
 	// pending queue into the next proposals.
 	r.flushBatches(false)
+}
+
+// sendReplies builds and sends the client replies for a freshly
+// executed entry. The hashing, Merkle proofs and per-client MACs —
+// the last crypto residue on the execution hot path — run off the Step
+// loop through goCrypto; the sends (and, for t = 1, the reply-root
+// divergence verdict) apply when the work lands. A view change
+// in-between drops the completion: clients recover the lost replies
+// via retransmission (resendCommittedReplies / Algorithm 4), exactly
+// as if the replies had been lost on the wire.
+func (r *Replica) sendReplies(entry *CommitEntry, sn smr.SeqNum, tss []uint64, reps [][]byte) {
+	if r.t == 1 && r.isPrimary() {
+		m1 := entry.Commits[0]
+		view := r.view
+		var out []*MsgReply
+		rootOK := true
+		r.goCrypto("mac-reply",
+			func() {
+				digs := make([]crypto.Digest, len(reps))
+				for i, rep := range reps {
+					digs[i] = crypto.Hash(rep)
+				}
+				// Check the follower's reply digest (Section 4.2.2)
+				// before answering clients: a mismatch means one of us
+				// diverged.
+				leaves := ReplyLeaves(tss, digs)
+				if m1.RepRoot != crypto.MerkleRoot(leaves) {
+					rootOK = false
+					return
+				}
+				out = make([]*MsgReply, len(entry.Batch.Reqs))
+				for i := range entry.Batch.Reqs {
+					req := &entry.Batch.Reqs[i]
+					rep := &MsgReply{
+						From: r.id, SN: sn, View: view, TS: tss[i], Rep: reps[i],
+						Proof: crypto.BuildMerkleProof(leaves, i), FollowerCommit: &m1,
+					}
+					rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+					out[i] = rep
+				}
+			},
+			func() {
+				if !rootOK {
+					r.suspect(r.view)
+					return
+				}
+				for i, rep := range out {
+					r.env.Send(entry.Batch.Reqs[i].Client, rep)
+				}
+			})
+		return
+	}
+	if r.t >= 2 {
+		view := r.view
+		primary := r.isPrimary()
+		var out []smr.Message
+		r.goCrypto("mac-reply",
+			func() {
+				out = make([]smr.Message, len(entry.Batch.Reqs))
+				for i := range entry.Batch.Reqs {
+					req := &entry.Batch.Reqs[i]
+					if primary {
+						rep := &MsgReply{From: r.id, SN: sn, View: view, TS: tss[i], Rep: reps[i]}
+						rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+						out[i] = rep
+					} else {
+						rep := &MsgReplyDigest{From: r.id, SN: sn, View: view, TS: tss[i], RepDigest: crypto.Hash(reps[i])}
+						rep.MAC = r.suite.MAC(crypto.NodeID(r.id), crypto.NodeID(req.Client), rep.MACPayload())
+						out[i] = rep
+					}
+				}
+			},
+			func() {
+				for i, rep := range out {
+					r.env.Send(entry.Batch.Reqs[i].Client, rep)
+				}
+			})
+	}
 }
 
 // applyBatch executes the batch's requests in order with at-most-once
@@ -1098,6 +1162,11 @@ func (r *Replica) applyBatch(b *Batch, sn smr.SeqNum, v smr.View) (tss []uint64,
 			if c, ok := r.replies.get(req.Client, req.TS); ok {
 				reps[i] = c.Rep
 			}
+			// A marker may still exist if the request was re-queued and
+			// re-batched around its own execution (retransmission racing
+			// a commit); the executed window owns dedupe now, so clear
+			// it here too or it leaks forever.
+			delete(r.queued, watchKey{Client: req.Client, TS: req.TS})
 			continue
 		}
 		rep := r.app.Execute(req.Op)

@@ -617,6 +617,7 @@ func (r *Replica) processNewView(m *MsgNewView) {
 				m1 := signOrder(r.suite, KindCommit, e.Primary.BatchD, sn, r.view, r.id, root)
 				entry := &CommitEntry{Batch: e.Batch, Primary: e.Primary, Commits: []Order{m1}}
 				r.commitLog[sn] = entry
+				r.logCommitEntry(entry)
 				r.notifyCommit(entry)
 				r.env.Send(r.primary(), &MsgCommit{Order: m1})
 				r.lazyReplicate(entry)

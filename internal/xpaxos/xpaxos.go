@@ -32,6 +32,7 @@ import (
 
 	"github.com/xft-consensus/xft/internal/crypto"
 	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wal"
 )
 
 // Config parameterizes a replica or client.
@@ -112,6 +113,13 @@ type Config struct {
 	// DisableLazyReplication turns off lazy replication to passive
 	// replicas (Section 4.5.2); on by default.
 	DisableLazyReplication bool
+	// WAL, if set, is the replica's durable write-ahead log: committed
+	// entries and stable checkpoints are appended and group-committed
+	// off the Step loop, and NewReplica replays the log to recover the
+	// replica's state after a crash (see durability.go). Nil keeps the
+	// replica purely in-memory. The replica owns the log once passed
+	// in; callers must not touch it afterwards.
+	WAL *wal.Log
 
 	// Observer, if set, is invoked on every local commit.
 	Observer smr.CommitObserver

@@ -189,7 +189,7 @@ func (c *Cluster) NewClient() *Client {
 	c.mu.Unlock()
 	id := smr.ClientIDBase + smr.NodeID(idx)
 	cl := &Client{cluster: c, id: id, done: make(chan result, 1)}
-	xc := xpaxos.NewClient(id, xpaxos.ClientConfig{
+	xc, err := xpaxos.NewClient(id, xpaxos.ClientConfig{
 		N: c.n, T: c.t,
 		Suite:          crypto.NewMeter(c.suite),
 		RequestTimeout: 4 * c.opts.Delta,
@@ -197,6 +197,11 @@ func (c *Cluster) NewClient() *Client {
 			cl.done <- result{rep: rep, lat: lat}
 		},
 	})
+	if err != nil {
+		// Unreachable: the only rejected field (Window) is left at its
+		// closed-loop default here.
+		panic(err)
+	}
 	c.rt.AddNode(id, xc) // the runtime is started, so the client launches now
 	return cl
 }
