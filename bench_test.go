@@ -244,22 +244,47 @@ func BenchmarkAsyncCryptoSim(b *testing.B) {
 	}
 }
 
+// BenchmarkArenaSim runs the cross-protocol benchmark arena: all five
+// protocols on identical co-located netsim topologies with signed
+// client requests and the modern cost model, reporting each protocol's
+// virtual-time throughput as its own metric. The numbers are
+// reproducible across hosts, so CI gates the baselines' ratios to
+// XPaxos (cmd/benchdiff ratio) rather than absolute wall-clock speed.
+func BenchmarkArenaSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		points := bench.Arena(&buf, quick)
+		b.Log("\n" + buf.String())
+		for _, ap := range points {
+			if ap.BatchedVerifies == 0 {
+				b.Fatalf("%s: no batched verifies — the deferred verify pipeline never engaged", ap.Protocol)
+			}
+			name := strings.ToLower(string(ap.Protocol))
+			b.ReportMetric(ap.ThroughputKops, name+"-kops/s")
+			b.ReportMetric(ap.LatencyMs, name+"-lat-ms")
+		}
+	}
+}
+
 // BenchmarkDurability measures what group commit buys the write-ahead
-// log on this host's real storage stack: an fsync per appended record
-// versus one fsync per pipeline-depth batch (32), as the replica's WAL
-// writer batches when the commit pipeline keeps records arriving. CI
-// gates per-entry-ns/rec ÷ group-ns/rec ≥ 2 (the durability acceptance
+// log on this host's real storage stack: a sync per appended record
+// versus one sync per pipeline-depth batch (32), as the replica's WAL
+// writer batches when the commit pipeline keeps records arriving, plus
+// the same group run with full fsync forced so the fdatasync fast
+// path's saving is visible as fullsync-ns/rec − group-ns/rec. CI gates
+// per-entry-ns/rec ÷ group-ns/rec ≥ 2 (the durability acceptance
 // criterion); the absolute numbers are host-dependent and soft.
 func BenchmarkDurability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
-		perEntry, group, err := bench.DurabilityComparison(&buf, quick)
+		perEntry, group, fullSync, err := bench.DurabilityComparison(&buf, quick)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Log("\n" + buf.String())
 		b.ReportMetric(perEntry, "per-entry-ns/rec")
 		b.ReportMetric(group, "group-ns/rec")
+		b.ReportMetric(fullSync, "fullsync-ns/rec")
 		if group > 0 {
 			b.ReportMetric(perEntry/group, "amortize-x")
 		}

@@ -10,6 +10,7 @@
 // Experiments: fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10
 //
 //	table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead
+//	arena
 //
 // By default experiments run at "quick" scale (seconds); -full runs
 // the paper-sized sweeps (minutes).
@@ -68,6 +69,8 @@ func main() {
 			bench.AsyncCryptoComparison(os.Stdout, sc)
 		case "tlsoverhead":
 			bench.TLSOverhead(os.Stdout, sc)
+		case "arena":
+			bench.Arena(os.Stdout, sc)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -79,5 +82,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xft-bench [-full] <experiment>...
-experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead`)
+experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead arena`)
 }

@@ -83,6 +83,14 @@ type Spec struct {
 	// CostModel overrides the per-core paper cost model (used by the
 	// modern-crypto experiments; nil keeps the default).
 	CostModel *crypto.CostModel
+	// SignedRequests makes clients of the four baseline protocols sign
+	// their requests and replicas verify them before ordering (the
+	// arena's apples-to-apples configuration; XPaxos always
+	// authenticates). Off by default for paper fidelity.
+	SignedRequests bool
+	// VerifyWorkers sets the baselines' verification-pool width for
+	// signed requests (0 → the shared pool, 1 → serial).
+	VerifyWorkers int
 }
 
 // Table4Regions returns the paper's replica placement (Table 4, t=1;
@@ -186,7 +194,11 @@ func Build(spec Spec) *Cluster {
 		Latency:           EC2Model(regionOf, false),
 		EgressBytesPerSec: spec.EgressMBps * 1e6,
 		CostModel:         cm,
-		Seed:              spec.Seed,
+		// Deferred verification jobs overlap across as many lanes as the
+		// protocols' verify pools have workers (0 → one lane, the
+		// single-unit model every pre-arena experiment used).
+		VerifyLanes: spec.VerifyWorkers,
+		Seed:        spec.Seed,
 	})
 	suite := crypto.NewSimSuite(spec.Seed + 1)
 
@@ -239,12 +251,19 @@ func Build(spec Spec) *Cluster {
 	case Paxos:
 		for i := 0; i < n; i++ {
 			meter := crypto.NewMeter(suite)
-			cfg := paxos.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			cfg := paxos.Config{
+				N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests, VerifyWorkers: spec.VerifyWorkers,
+				DisableAsyncCrypto: spec.SyncCrypto,
+			}
 			addReplica(i, paxos.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
 		}
 		for i := 0; i < spec.Clients; i++ {
 			id := smr.ClientIDBase + smr.NodeID(i)
-			cl := paxos.NewClient(id, paxos.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cl := paxos.NewClient(id, paxos.Config{
+				N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests,
+			})
 			cb := new(func(op, rep []byte, lat time.Duration))
 			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
 				if *cb != nil {
@@ -257,12 +276,19 @@ func Build(spec Spec) *Cluster {
 	case PBFT:
 		for i := 0; i < n; i++ {
 			meter := crypto.NewMeter(suite)
-			cfg := pbft.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			cfg := pbft.Config{
+				N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests, VerifyWorkers: spec.VerifyWorkers,
+				DisableAsyncCrypto: spec.SyncCrypto,
+			}
 			addReplica(i, pbft.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
 		}
 		for i := 0; i < spec.Clients; i++ {
 			id := smr.ClientIDBase + smr.NodeID(i)
-			cl := pbft.NewClient(id, pbft.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cl := pbft.NewClient(id, pbft.Config{
+				N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests,
+			})
 			cb := new(func(op, rep []byte, lat time.Duration))
 			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
 				if *cb != nil {
@@ -275,12 +301,19 @@ func Build(spec Spec) *Cluster {
 	case Zyzzyva:
 		for i := 0; i < n; i++ {
 			meter := crypto.NewMeter(suite)
-			cfg := zyzzyva.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			cfg := zyzzyva.Config{
+				N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests, VerifyWorkers: spec.VerifyWorkers,
+				DisableAsyncCrypto: spec.SyncCrypto,
+			}
 			addReplica(i, zyzzyva.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
 		}
 		for i := 0; i < spec.Clients; i++ {
 			id := smr.ClientIDBase + smr.NodeID(i)
-			cl := zyzzyva.NewClient(id, zyzzyva.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req, CommitTimeout: spec.Delta})
+			cl := zyzzyva.NewClient(id, zyzzyva.Config{
+				N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req, CommitTimeout: spec.Delta,
+				SignedRequests: spec.SignedRequests,
+			})
 			cb := new(func(op, rep []byte, lat time.Duration))
 			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
 				if *cb != nil {
@@ -293,12 +326,19 @@ func Build(spec Spec) *Cluster {
 	case Zab:
 		for i := 0; i < n; i++ {
 			meter := crypto.NewMeter(suite)
-			cfg := zab.Config{N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req}
+			cfg := zab.Config{
+				N: n, T: spec.T, Suite: meter, BatchSize: spec.BatchSize, RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests, VerifyWorkers: spec.VerifyWorkers,
+				DisableAsyncCrypto: spec.SyncCrypto,
+			}
 			addReplica(i, zab.NewReplica(smr.NodeID(i), cfg, spec.newApp()), meter)
 		}
 		for i := 0; i < spec.Clients; i++ {
 			id := smr.ClientIDBase + smr.NodeID(i)
-			cl := zab.NewClient(id, zab.Config{N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req})
+			cl := zab.NewClient(id, zab.Config{
+				N: n, T: spec.T, Suite: crypto.NewMeter(suite), RequestTimeout: timeouts.req,
+				SignedRequests: spec.SignedRequests,
+			})
 			cb := new(func(op, rep []byte, lat time.Duration))
 			cl.OnCommit = func(op, rep []byte, lat time.Duration) {
 				if *cb != nil {

@@ -131,7 +131,12 @@ func AvailabilityHolds(m Model, c *Condition) bool {
 }
 
 // FormatTable1 renders the Table 1 guarantee matrix for n replicas in
-// the paper's layout.
+// the paper's layout. The benchmark arena (internal/bench.Arena,
+// `xft-bench arena`) measures the performance side of the same
+// trade-off: the CFT baselines that out-run XPaxos there tolerate no
+// non-crash faults, and the BFT baselines need 3t+1 replicas where
+// XFT needs 2t+1 — throughput numbers only mean something next to
+// this matrix.
 func FormatTable1(n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Maximum number of each type of replica fault tolerated (n = %d)\n", n)

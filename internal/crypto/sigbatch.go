@@ -1,0 +1,45 @@
+package crypto
+
+import "github.com/xft-consensus/xft/internal/wire"
+
+// SigBatch accumulates independent signature-verification jobs whose
+// payloads are built into pooled wire buffers, so assembling a batch on
+// the hot path allocates nothing in steady state. Protocol replicas
+// fill one per verification round (a batch of client requests, a set
+// of forwarded messages), hand Jobs to a Pool, and Release the buffers
+// once the verdicts are in.
+type SigBatch struct {
+	jobs []VerifyJob
+	bufs []*wire.Buf
+}
+
+// NewSigBatch returns a batch with capacity for n jobs.
+func NewSigBatch(n int) *SigBatch {
+	return &SigBatch{jobs: make([]VerifyJob, 0, n), bufs: make([]*wire.Buf, 0, n)}
+}
+
+// Add appends one job: enc writes the signed payload into a pooled
+// buffer, and the job verifies sig over that payload under id's key.
+func (b *SigBatch) Add(id NodeID, sig Signature, enc func(w *wire.Buf)) {
+	buf := wire.Get()
+	enc(buf)
+	b.jobs = append(b.jobs, VerifyJob{ID: id, Data: buf.Done(), Sig: sig})
+	b.bufs = append(b.bufs, buf)
+}
+
+// Len returns the number of accumulated jobs.
+func (b *SigBatch) Len() int { return len(b.jobs) }
+
+// Jobs returns the accumulated jobs. The job payloads alias pooled
+// buffers; they are valid only until Release.
+func (b *SigBatch) Jobs() []VerifyJob { return b.jobs }
+
+// Release returns the payload buffers to the pool. The jobs (and any
+// slices taken from them) must not be used afterwards.
+func (b *SigBatch) Release() {
+	for _, buf := range b.bufs {
+		wire.Put(buf)
+	}
+	b.bufs = b.bufs[:0]
+	b.jobs = b.jobs[:0]
+}

@@ -142,3 +142,59 @@ func TestDeferOrphanedByReplaceAndCrash(t *testing.T) {
 		t.Fatalf("replacement received stale completions: %v", fresh.asyncs)
 	}
 }
+
+// TestVerifyLanesOverlap: with Config.VerifyLanes = 2, two verify jobs
+// from the same Step run concurrently on separate lanes while a third
+// serializes behind the earliest-free one; with the default single
+// lane all three serialize. Sign jobs keep their own unit either way.
+func TestVerifyLanesOverlap(t *testing.T) {
+	cm := crypto.CostModel{SignCost: 50 * time.Microsecond, VerifyCost: 100 * time.Microsecond}
+	run := func(verifyLanes int) map[string]time.Duration {
+		suite := crypto.NewSimSuite(1)
+		meter := crypto.NewMeter(suite)
+		net := New(Config{Latency: Uniform{Delay: 0}, CostModel: cm, VerifyLanes: verifyLanes})
+		node := &deferScript{}
+		node.onStart = func(env smr.Env) {
+			for _, k := range []string{"verify-a", "verify-b", "verify-c"} {
+				env.Defer(k, func() { meter.Verify(0, []byte("m"), crypto.Signature{1}) }, func() {})
+			}
+			env.Defer("sign", func() { meter.Sign(0, []byte("m")) }, func() {})
+		}
+		net.AddNode(0, node, WithMeter(meter))
+		net.RunUntil(time.Second)
+		got := map[string]time.Duration{}
+		for i, k := range node.asyncs {
+			got[k] = node.asyncAt[i]
+		}
+		return got
+	}
+
+	// Two lanes: a and b overlap, c queues behind a (earliest-free,
+	// lowest index), and the sign unit overlaps everything.
+	got := run(2)
+	want := map[string]time.Duration{
+		"verify-a": 100 * time.Microsecond,
+		"verify-b": 100 * time.Microsecond,
+		"verify-c": 200 * time.Microsecond,
+		"sign":     50 * time.Microsecond,
+	}
+	for k, at := range want {
+		if got[k] != at {
+			t.Errorf("2 lanes: %s completed at %v, want %v (all: %v)", k, got[k], at, got)
+		}
+	}
+
+	// Default single lane: fully serialized, unchanged semantics.
+	got = run(0)
+	want = map[string]time.Duration{
+		"verify-a": 100 * time.Microsecond,
+		"verify-b": 200 * time.Microsecond,
+		"verify-c": 300 * time.Microsecond,
+		"sign":     50 * time.Microsecond,
+	}
+	for k, at := range want {
+		if got[k] != at {
+			t.Errorf("1 lane: %s completed at %v, want %v (all: %v)", k, got[k], at, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -139,6 +140,101 @@ func TestHealthMonitorDeterminism(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// skewedLinks is a latency model with one slow peer: any link touching
+// the slow node takes slowOneWay per direction, every other link
+// fastOneWay.
+type skewedLinks struct {
+	slow                   smr.NodeID
+	fastOneWay, slowOneWay time.Duration
+}
+
+func (s skewedLinks) OneWay(_ *rand.Rand, from, to smr.NodeID) time.Duration {
+	if from == s.slow || to == s.slow {
+		return s.slowOneWay
+	}
+	return s.fastOneWay
+}
+
+// TestHealthMonitorAdaptiveDeadline: with a probe timeout tuned for the
+// fast links, a healthy peer whose round trip alone exceeds that
+// timeout must not be suspected — the per-link RTT estimate stretches
+// the deadline. A genuine crash of that same slow peer must still be
+// detected.
+func TestHealthMonitorAdaptiveDeadline(t *testing.T) {
+	const (
+		slow     = smr.NodeID(2)
+		interval = 10 * time.Millisecond
+		timeout  = 25 * time.Millisecond // < slow link's 80ms round trip
+	)
+	newNet := func() (*Network, []*healthRecorder) {
+		net := New(Config{
+			Latency:       skewedLinks{slow: slow, fastOneWay: 2 * time.Millisecond, slowOneWay: 40 * time.Millisecond},
+			CostModel:     crypto.DefaultCostModel(),
+			Seed:          1,
+			ProbeInterval: interval,
+			ProbeTimeout:  timeout,
+		})
+		recs := make([]*healthRecorder, 3)
+		for i := range recs {
+			recs[i] = &healthRecorder{}
+			net.AddNode(smr.NodeID(i), recs[i])
+		}
+		net.StartHealthMonitors(0, 1, 2)
+		return net, recs
+	}
+
+	// Healthy run: nothing fails, so after the estimators train nobody
+	// may be reported down — in particular not the slow-but-alive peer,
+	// which a fixed 25ms timeout would falsely suspect (its pongs take
+	// 80ms). The monitors start optimistic with no RTT samples, so the
+	// slow pair may flap once before the first pong trains the
+	// estimate; a second down for the same pair means the deadline
+	// never adapted.
+	net, recs := newNet()
+	net.RunUntil(2 * time.Second)
+	for i, r := range recs {
+		byPeer := map[smr.NodeID]int{}
+		for _, ev := range r.downs {
+			byPeer[ev.peer]++
+		}
+		for peer, c := range byPeer {
+			if c > 1 {
+				t.Errorf("node %d suspected healthy peer %d %d times; adaptive deadline never engaged", i, peer, c)
+			}
+		}
+		if len(r.downs) != len(r.ups) {
+			t.Errorf("node %d ended with unmatched transitions: %d downs, %d ups", i, len(r.downs), len(r.ups))
+		}
+	}
+
+	// Crash run: the slow peer really dies after the estimators have
+	// trained; the fast nodes must still detect it, within the widened
+	// deadline (~srtt + slack) rather than never.
+	net, recs = newNet()
+	const crashAt = time.Second
+	net.At(crashAt, func() { net.Crash(slow) })
+	net.RunUntil(2 * time.Second)
+	for _, i := range []int{0, 1} {
+		var got []healthEvent
+		for _, ev := range recs[i].downs {
+			if ev.peer == slow && ev.at > crashAt {
+				got = append(got, ev)
+			}
+		}
+		if len(got) != 1 {
+			t.Fatalf("node %d post-crash downs for slow peer = %+v, want exactly one", i, got)
+		}
+		// Deadline after training: srtt 80ms + max(4*rttvar, interval)
+		// + 2*interval, floored at 25ms — detection must land within a
+		// few intervals of crash + deadline, not at crash + fixed 25ms
+		// and not hundreds of ms late.
+		lo, hi := crashAt+80*time.Millisecond, crashAt+250*time.Millisecond
+		if got[0].at < lo || got[0].at > hi {
+			t.Errorf("node %d detected slow peer's crash at %v, want within [%v, %v]", i, got[0].at, lo, hi)
 		}
 	}
 }

@@ -58,6 +58,15 @@ type Config struct {
 	// units and the network exactly as the live runtime's deferred WAL
 	// writer does. Zero models free durability.
 	FsyncCost time.Duration
+	// SignLanes and VerifyLanes set how many deferred jobs each node's
+	// off-loop sign and verify units run concurrently. A job occupies
+	// the earliest-free lane of its unit; jobs beyond the lane count
+	// queue. This models the live runtime's ability to have several
+	// Defer submissions in flight at once (e.g. a dedicated pool per
+	// replica plus the shared pool). Zero means one lane — the
+	// pre-existing fully-serialized unit behavior.
+	SignLanes   int
+	VerifyLanes int
 	// Seed drives all randomness.
 	Seed int64
 	// ProbeInterval and ProbeTimeout model the live transport's
@@ -157,11 +166,13 @@ func (n *Network) AddNode(id smr.NodeID, node smr.Node, opts ...NodeOption) {
 		panic(fmt.Sprintf("netsim: duplicate node %d", id))
 	}
 	sn := &simNode{
-		net:        n,
-		id:         id,
-		node:       node,
-		egressRate: n.cfg.EgressBytesPerSec,
-		timers:     make(map[smr.TimerID]*sim.Timer),
+		net:         n,
+		id:          id,
+		node:        node,
+		egressRate:  n.cfg.EgressBytesPerSec,
+		timers:      make(map[smr.TimerID]*sim.Timer),
+		signLanes:   make([]time.Duration, laneCount(n.cfg.SignLanes)),
+		verifyLanes: make([]time.Duration, laneCount(n.cfg.VerifyLanes)),
 	}
 	for _, o := range opts {
 		o(sn)
@@ -186,7 +197,7 @@ func (n *Network) ReplaceNode(id smr.NodeID, node smr.Node) {
 	sn.deferred = sn.deferred[:0]
 	// The replacement gets idle crypto and disk units: the orphaned
 	// jobs' modeled backlog died with the old incarnation.
-	sn.signFreeAt, sn.verifyFreeAt, sn.diskFreeAt = 0, 0, 0
+	sn.resetUnits()
 	for _, t := range sn.timers {
 		t.Cancel()
 	}
@@ -265,7 +276,7 @@ func (n *Network) Recover(id smr.NodeID) {
 	sn.crashed = false
 	// The crash orphaned all deferred work (gen bump), so the recovered
 	// node's crypto and disk units start idle.
-	sn.signFreeAt, sn.verifyFreeAt, sn.diskFreeAt = 0, 0, 0
+	sn.resetUnits()
 	sn.enqueue(smr.Start{})
 }
 
@@ -312,21 +323,36 @@ func (n *Network) HealAll() { n.downLinks = make(map[[2]smr.NodeID]bool) }
 // transport's keepalive probes)
 // ---------------------------------------------------------------------------
 
-// linkHealth is one directed monitor's state: a watches b.
+// linkHealth is one directed monitor's state: a watches b. Pong
+// arrivals record observations (lastOK, rtt, the RTT estimate); the
+// probe tick is the sole up/down decider, mirroring the live
+// transport's split between pongLoop and probeLoop.
 type linkHealth struct {
 	lastOK time.Duration
+	rtt    time.Duration
 	up     bool
+	est    smr.RTTEstimator
+}
+
+// probeReachable reports whether a probe launched by a toward b can
+// complete its round trip: both ends alive, link up both ways.
+func (n *Network) probeReachable(a, b smr.NodeID) bool {
+	an, bn := n.nodes[a], n.nodes[b]
+	return an != nil && bn != nil && !an.crashed && !bn.crashed &&
+		n.LinkUp(a, b) && n.LinkUp(b, a)
 }
 
 // StartHealthMonitors begins keepalive modeling among the given nodes
 // (typically the replicas; clients are not probed by the live
-// transport either). Every ProbeInterval, each ordered pair (a, b) is
-// checked: a "probe" succeeds when neither end is crashed and the
-// link delivers in both directions (the live probe is a ping/pong
-// round trip). A peer failing probes for ProbeTimeout delivers
-// smr.PeerDown{Peer: b} into a's event queue; the first success
-// afterwards delivers smr.PeerUp. Deterministic: transitions happen
-// at exact probe ticks, so partial-partition scenarios replay
+// transport either). Every ProbeInterval, each ordered pair (a, b)
+// launches a "probe": if neither end is crashed and the link delivers
+// in both directions, a pong lands one modeled round trip later and
+// feeds the pair's RTT estimator. A peer silent past its deadline —
+// the configured ProbeTimeout stretched per-link by the estimator,
+// never shrunk below it — delivers smr.PeerDown{Peer: b} into a's
+// event queue; the first pong afterwards delivers smr.PeerUp at the
+// next tick. Deterministic: probes and pong flights are scheduled on
+// the virtual clock, so partial-partition scenarios replay
 // identically under a fixed seed. Panics if Config.ProbeInterval is
 // zero or monitors were already started.
 func (n *Network) StartHealthMonitors(ids ...smr.NodeID) {
@@ -359,24 +385,40 @@ func (n *Network) StartHealthMonitors(ids ...smr.NodeID) {
 		for _, pair := range n.healthPairs {
 			st := n.health[pair]
 			a, b := pair[0], pair[1]
-			an, bn := n.nodes[a], n.nodes[b]
-			reachable := an != nil && bn != nil && !an.crashed && !bn.crashed &&
-				n.LinkUp(a, b) && n.LinkUp(b, a)
 			now := n.eng.Now()
-			if reachable {
-				if !st.up {
-					st.up = true
-					an.enqueue(smr.PeerUp{Peer: b, RTT: n.cfg.Latency.OneWay(n.eng.Rand(), a, b) * 2})
+			// Judge on what past pongs established before launching this
+			// tick's probe; its pong cannot land before the next tick.
+			deadline := st.est.Deadline(n.cfg.ProbeInterval, n.cfg.ProbeTimeout)
+			an := n.nodes[a]
+			alive := an != nil && !an.crashed
+			silent := now - st.lastOK
+			switch {
+			case st.up && silent > deadline:
+				st.up = false
+				if alive {
+					an.enqueue(smr.PeerDown{Peer: b, LastSeen: silent})
 				}
-				st.lastOK = now
+			case !st.up && silent <= deadline:
+				st.up = true
+				if alive {
+					an.enqueue(smr.PeerUp{Peer: b, RTT: st.rtt})
+				}
+			}
+			if !n.probeReachable(a, b) {
 				continue
 			}
-			if st.up && now-st.lastOK >= n.cfg.ProbeTimeout {
-				st.up = false
-				if an != nil && !an.crashed {
-					an.enqueue(smr.PeerDown{Peer: b, LastSeen: now - st.lastOK})
+			rtt := n.cfg.Latency.OneWay(n.eng.Rand(), a, b) +
+				n.cfg.Latency.OneWay(n.eng.Rand(), b, a)
+			n.eng.After(rtt, func() {
+				// Dropped if either end died or the link was cut while
+				// the probe was in flight.
+				if !n.probeReachable(a, b) {
+					return
 				}
-			}
+				st.lastOK = n.eng.Now()
+				st.rtt = rtt
+				st.est.Observe(rtt)
+			})
 		}
 	}
 	n.eng.After(n.cfg.ProbeInterval, tick)
@@ -444,13 +486,15 @@ type simNode struct {
 	// Deferred crypto from the Step currently executing, flushed to the
 	// async units when the Step's own processing completes.
 	deferred []deferredJob
-	// signFreeAt/verifyFreeAt model the node's two off-loop crypto
+	// signLanes/verifyLanes model the node's two off-loop crypto
 	// units: signing runs on its own goroutine in the live runtime
 	// while verification fans out through the worker pool, so the two
-	// overlap each other and the event loop; jobs on the same unit
-	// serialize (the pool is one resource, however parallel inside).
-	signFreeAt   time.Duration
-	verifyFreeAt time.Duration
+	// overlap each other and the event loop. Each lane holds the time
+	// it is next free; a job takes the earliest-free lane of its unit
+	// (Config.SignLanes/VerifyLanes size them; one lane fully
+	// serializes the unit, however parallel each job is inside).
+	signLanes   []time.Duration
+	verifyLanes []time.Duration
 	// diskFreeAt models the node's durable-storage unit: deferred jobs
 	// with a durable kind (smr.IsDurableKind) serialize here at
 	// Config.FsyncCost each, so group commit's fsync latency overlaps
@@ -482,6 +526,38 @@ type deferredJob struct {
 type outMsg struct {
 	to smr.NodeID
 	m  smr.Message
+}
+
+// laneCount normalizes a Config lane setting: zero (unset) means one
+// lane, the fully-serialized unit.
+func laneCount(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// freestLane returns the lane that frees up earliest; ties go to the
+// lowest index so scheduling is deterministic.
+func freestLane(lanes []time.Duration) *time.Duration {
+	li := 0
+	for i := 1; i < len(lanes); i++ {
+		if lanes[i] < lanes[li] {
+			li = i
+		}
+	}
+	return &lanes[li]
+}
+
+// resetUnits idles the node's modeled crypto lanes and disk unit.
+func (sn *simNode) resetUnits() {
+	for i := range sn.signLanes {
+		sn.signLanes[i] = 0
+	}
+	for i := range sn.verifyLanes {
+		sn.verifyLanes[i] = 0
+	}
+	sn.diskFreeAt = 0
 }
 
 func (sn *simNode) ID() smr.NodeID     { return sn.id }
@@ -596,7 +672,7 @@ func (sn *simNode) processNext() {
 		dj := sn.deferred[i]
 		work := dj.window.Cost(sn.net.cfg.CostModel)
 		elapsed := dj.window.Elapsed(sn.net.cfg.CostModel)
-		unit := &sn.verifyFreeAt
+		var unit *time.Duration
 		switch {
 		case smr.IsDurableKind(dj.kind):
 			// Disk job: the time on the unit is the modeled fsync, not
@@ -604,7 +680,9 @@ func (sn *simNode) processNext() {
 			unit = &sn.diskFreeAt
 			elapsed += sn.net.cfg.FsyncCost
 		case dj.window.Signs > 0:
-			unit = &sn.signFreeAt
+			unit = freestLane(sn.signLanes)
+		default:
+			unit = freestLane(sn.verifyLanes)
 		}
 		start := done
 		if *unit > start {

@@ -44,14 +44,27 @@ func quorumMembers(n, t int, v smr.View) []smr.NodeID {
 // Messages
 // ---------------------------------------------------------------------------
 
-// Request is a client request (MAC-authenticated; CFT trusts clients).
+// Request is a client request. In the paper-fidelity configuration it
+// is MAC-authenticated only (the CFT baseline trusts clients); with
+// Config.SignedRequests the client signs it, so the cross-protocol
+// arena measures every protocol with the same client-authentication
+// cost as XPaxos.
 type Request struct {
 	Op     []byte
 	TS     uint64
 	Client smr.NodeID
+	// Sig authenticates the request under the client's key when the
+	// deployment enables SignedRequests; empty otherwise.
+	Sig crypto.Signature
 }
 
-func (r *Request) wireSize() int { return len(r.Op) + 16 + 8 }
+func (r *Request) wireSize() int { return len(r.Op) + 16 + 8 + 4 + len(r.Sig) }
+
+// appendSigPayload writes the byte string a client signs over the
+// request.
+func (r *Request) appendSigPayload(w *wire.Buf) {
+	w.Str("px-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+}
 
 // Batch groups requests under one sequence number.
 type Batch struct{ Reqs []Request }
@@ -144,6 +157,12 @@ func (m *MsgLearn) Type() string { return "px-learn" }
 // WireSize implements smr.Message.
 func (m *MsgLearn) WireSize() int { return msgHeader + 16 + m.Batch.wireSize() + len(m.MAC) }
 
+// Bulk implements smr.BulkMessage: lazy replication is background
+// traffic — the accept quorum already holds the batch, so a transport
+// under pressure may shed learn messages and let the out-of-quorum
+// replicas catch up on the next one.
+func (m *MsgLearn) Bulk() bool { return true }
+
 // MsgReply answers the client.
 type MsgReply struct {
 	From smr.NodeID
@@ -198,6 +217,12 @@ func (m *MsgPromise) WireSize() int {
 	return s
 }
 
+// Bulk implements smr.BulkMessage: a promise carries the follower's
+// whole accepted log (state transfer). Shedding one under queue
+// pressure is safe — the new leader only needs t+1 promises, and the
+// election retries through the progress timer if it stalls.
+func (m *MsgPromise) Bulk() bool { return true }
+
 // ---------------------------------------------------------------------------
 // Replica
 // ---------------------------------------------------------------------------
@@ -210,6 +235,21 @@ type Config struct {
 	BatchTimeout   time.Duration
 	RequestTimeout time.Duration // progress timer before electing a new leader
 	Observer       smr.CommitObserver
+
+	// SignedRequests makes clients sign their requests and the leader
+	// verify them (batched, on the verification pool) before ordering.
+	// Off by default: the paper's CFT baseline authenticates requests
+	// with MACs only. The cross-protocol arena turns it on so all five
+	// protocols carry the same client-authentication cost.
+	SignedRequests bool
+	// VerifyWorkers sizes the request-verification pool: 0 selects the
+	// shared process-wide pool, 1 verifies serially, larger values get
+	// a dedicated pool (crypto.PoolFor).
+	VerifyWorkers int
+	// DisableAsyncCrypto runs request verification inside the Step
+	// loop instead of through Env.Defer (the pre-pipeline behavior;
+	// baseline of the async-vs-sync comparison).
+	DisableAsyncCrypto bool
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +292,14 @@ type Replica struct {
 	batchTimer    smr.TimerID
 	batchTimerSet bool
 
+	// Request-verification pipeline (SignedRequests only): incoming
+	// requests queue here until a single-flight batch verification on
+	// the pool admits them.
+	verifyPool *crypto.Pool
+	asyncVer   bool
+	vqPending  []Request
+	verifying  bool
+
 	// Leader election.
 	electing  bool
 	promises  map[smr.NodeID]*MsgPromise
@@ -265,13 +313,15 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 	cfg = cfg.withDefaults()
 	return &Replica{
 		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, app: app,
-		log:       make(map[smr.SeqNum]*acceptedEntry),
-		chosen:    make(map[smr.SeqNum]bool),
-		acks:      make(map[smr.SeqNum]map[smr.NodeID]bool),
-		lastExec:  make(map[smr.NodeID]uint64),
-		replies:   make(map[smr.NodeID][]byte),
-		promises:  make(map[smr.NodeID]*MsgPromise),
-		suspected: make(map[smr.View]bool),
+		log:        make(map[smr.SeqNum]*acceptedEntry),
+		chosen:     make(map[smr.SeqNum]bool),
+		acks:       make(map[smr.SeqNum]map[smr.NodeID]bool),
+		lastExec:   make(map[smr.NodeID]uint64),
+		replies:    make(map[smr.NodeID][]byte),
+		promises:   make(map[smr.NodeID]*MsgPromise),
+		suspected:  make(map[smr.View]bool),
+		verifyPool: crypto.PoolFor(cfg.VerifyWorkers),
+		asyncVer:   !cfg.DisableAsyncCrypto,
 	}
 }
 
@@ -292,6 +342,8 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onTimer(e)
 	case smr.Recv:
 		r.onRecv(e.From, e.Msg)
+	case smr.Async:
+		e.Apply()
 	}
 }
 
@@ -352,11 +404,88 @@ func (r *Replica) onRequest(from smr.NodeID, req Request) {
 		}
 		return
 	}
+	if r.cfg.SignedRequests {
+		r.vqPending = append(r.vqPending, req)
+		r.kickVerify()
+		return
+	}
 	if r.electing {
 		r.pendingReqs = append(r.pendingReqs, req)
 		return
 	}
 	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+// kickVerify starts one request-verification round if none is in
+// flight: every queued request's client signature is checked in a
+// single batch on the verification pool off the Step loop (so the
+// batch verifier engages), and the survivors are admitted by the apply
+// half. Single-flight keeps at most one round outstanding; requests
+// arriving meanwhile queue for the next round. The apply half carries
+// no view guard — client signatures are view-independent — and instead
+// re-validates leadership per request, so a concurrent election can
+// neither wedge the pipeline nor strand verified requests.
+func (r *Replica) kickVerify() {
+	if r.verifying || len(r.vqPending) == 0 {
+		return
+	}
+	reqs := r.vqPending
+	r.vqPending = nil
+	r.verifying = true
+	batch := crypto.NewSigBatch(len(reqs))
+	for i := range reqs {
+		batch.Add(crypto.NodeID(reqs[i].Client), reqs[i].Sig, reqs[i].appendSigPayload)
+	}
+	var verdicts []bool
+	work := func() {
+		verdicts = r.verifyPool.VerifyEach(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		r.verifying = false
+		ok := reqs[:0]
+		for i, v := range verdicts {
+			if v {
+				ok = append(ok, reqs[i])
+			}
+		}
+		r.admit(ok)
+		r.kickVerify()
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-req", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// admit takes verified requests. If leadership moved while the batch
+// was in flight, requests are re-routed to the current leader instead
+// of being dropped.
+func (r *Replica) admit(reqs []Request) {
+	for _, req := range reqs {
+		if req.TS <= r.lastExec[req.Client] {
+			if rep, ok := r.replies[req.Client]; ok && r.isLeader() {
+				r.reply(req.Client, req.TS, rep)
+			}
+			continue
+		}
+		if !r.isLeader() {
+			r.env.Send(Leader(r.n, r.view), &MsgRequest{Req: req})
+			continue
+		}
+		r.pendingReqs = append(r.pendingReqs, req)
+	}
+	if !r.isLeader() || r.electing || len(r.pendingReqs) == 0 {
+		return
+	}
 	if len(r.pendingReqs) >= r.cfg.BatchSize {
 		r.flush(false)
 	} else if !r.batchTimerSet {
@@ -715,6 +844,12 @@ func (c *Client) Invoke(op []byte) {
 	}
 	c.ts++
 	req := Request{Op: op, TS: c.ts, Client: c.id}
+	if c.cfg.SignedRequests {
+		w := wire.Get()
+		req.appendSigPayload(w)
+		req.Sig = c.suite.Sign(crypto.NodeID(c.id), w.Done())
+		wire.Put(w)
+	}
 	c.pending = &struct {
 		req    Request
 		sentAt time.Duration

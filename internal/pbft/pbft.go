@@ -50,14 +50,26 @@ func isActive(n, t int, v smr.View, id smr.NodeID) bool {
 	return false
 }
 
-// Request is a client request.
+// Request is a client request. With Config.SignedRequests the client
+// signs it and replicas verify the signature (batched, off the Step
+// loop) before ordering; otherwise it is authenticated by transport
+// MACs only, the paper-fidelity configuration.
 type Request struct {
 	Op     []byte
 	TS     uint64
 	Client smr.NodeID
+	// Sig authenticates the request under the client's key when the
+	// deployment enables SignedRequests; empty otherwise.
+	Sig crypto.Signature
 }
 
-func (r *Request) wireSize() int { return len(r.Op) + 24 }
+func (r *Request) wireSize() int { return len(r.Op) + 24 + 4 + len(r.Sig) }
+
+// appendSigPayload writes the byte string a client signs over the
+// request.
+func (r *Request) appendSigPayload(w *wire.Buf) {
+	w.Str("pb-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+}
 
 // Batch groups requests.
 type Batch struct{ Reqs []Request }
@@ -154,6 +166,12 @@ func (m *MsgViewChange) WireSize() int {
 	return s
 }
 
+// Bulk implements smr.BulkMessage: a view change carries the
+// replica's whole accepted log (state transfer). A transport under
+// queue pressure may shed one — the new primary needs only 2t+1 of
+// them, and the progress timer re-drives the view change if it stalls.
+func (m *MsgViewChange) Bulk() bool { return true }
+
 func (m *MsgViewChange) sigPayload() []byte {
 	w := wire.New(64).Str("pb-vc").U64(uint64(m.View)).I64(int64(m.From))
 	for i := range m.Entries {
@@ -183,6 +201,12 @@ func (m *MsgNewView) WireSize() int {
 	return s
 }
 
+// Bulk implements smr.BulkMessage: the new-view installs the merged
+// log (state transfer). If one is shed under queue pressure, the
+// recipient's progress timer pushes it into the next view change and
+// the transfer retries.
+func (m *MsgNewView) Bulk() bool { return true }
+
 func (m *MsgNewView) sigPayload() []byte {
 	w := wire.New(64).Str("pb-nv").U64(uint64(m.View))
 	for i := range m.Entries {
@@ -207,6 +231,21 @@ type Config struct {
 	BatchTimeout   time.Duration
 	RequestTimeout time.Duration
 	Observer       smr.CommitObserver
+
+	// SignedRequests makes clients sign their requests and replicas
+	// verify them (batched, on the verification pool) before ordering:
+	// the primary at admission, backups on each pre-prepare. Off by
+	// default — the paper's evaluation exercises the MAC-based common
+	// case; the cross-protocol arena turns it on so all five protocols
+	// carry the same client-authentication cost.
+	SignedRequests bool
+	// VerifyWorkers sizes the verification pool: 0 selects the shared
+	// process-wide pool, 1 verifies serially, larger values get a
+	// dedicated pool (crypto.PoolFor).
+	VerifyWorkers int
+	// DisableAsyncCrypto runs signature verification inside the Step
+	// loop instead of through Env.Defer.
+	DisableAsyncCrypto bool
 }
 
 func (c Config) withDefaults() Config {
@@ -249,6 +288,16 @@ type Replica struct {
 	batchTimer    smr.TimerID
 	batchTimerSet bool
 
+	// Request-verification pipeline (SignedRequests only). The primary
+	// queues incoming requests in vqPending until a single-flight batch
+	// verification admits them; backups track per-SN in-flight
+	// pre-prepare verifications in ppInFlight.
+	verifyPool *crypto.Pool
+	asyncVer   bool
+	vqPending  []Request
+	verifying  bool
+	ppInFlight map[smr.SeqNum]bool
+
 	electing bool
 	vcs      map[smr.NodeID]*MsgViewChange
 	progress smr.TimerID
@@ -260,12 +309,15 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 	cfg = cfg.withDefaults()
 	return &Replica{
 		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, app: app,
-		log:      make(map[smr.SeqNum]*logEntry),
-		votes:    make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
-		chosen:   make(map[smr.SeqNum]bool),
-		lastExec: make(map[smr.NodeID]uint64),
-		replies:  make(map[smr.NodeID][]byte),
-		vcs:      make(map[smr.NodeID]*MsgViewChange),
+		log:        make(map[smr.SeqNum]*logEntry),
+		votes:      make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
+		chosen:     make(map[smr.SeqNum]bool),
+		lastExec:   make(map[smr.NodeID]uint64),
+		replies:    make(map[smr.NodeID][]byte),
+		vcs:        make(map[smr.NodeID]*MsgViewChange),
+		verifyPool: crypto.PoolFor(cfg.VerifyWorkers),
+		asyncVer:   !cfg.DisableAsyncCrypto,
+		ppInFlight: make(map[smr.SeqNum]bool),
 	}
 }
 
@@ -283,6 +335,8 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onTimer(e)
 	case smr.Recv:
 		r.onRecv(e.From, e.Msg)
+	case smr.Async:
+		e.Apply()
 	}
 }
 
@@ -337,7 +391,83 @@ func (r *Replica) onRequest(from smr.NodeID, req Request) {
 		}
 		return
 	}
+	if r.cfg.SignedRequests {
+		r.vqPending = append(r.vqPending, req)
+		r.kickVerify()
+		return
+	}
 	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+// kickVerify starts one request-verification round if none is in
+// flight: every queued request's client signature is checked in a
+// single batch on the verification pool off the Step loop (so the
+// batch verifier engages), and the survivors are admitted by the apply
+// half. Single-flight keeps at most one round outstanding; requests
+// arriving meanwhile queue for the next round. The apply half carries
+// no view guard — client signatures are view-independent — and instead
+// re-validates primaryship per request, so a concurrent view change
+// can neither wedge the pipeline nor strand verified requests.
+func (r *Replica) kickVerify() {
+	if r.verifying || len(r.vqPending) == 0 {
+		return
+	}
+	reqs := r.vqPending
+	r.vqPending = nil
+	r.verifying = true
+	batch := crypto.NewSigBatch(len(reqs))
+	for i := range reqs {
+		batch.Add(crypto.NodeID(reqs[i].Client), reqs[i].Sig, reqs[i].appendSigPayload)
+	}
+	var verdicts []bool
+	work := func() {
+		verdicts = r.verifyPool.VerifyEach(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		r.verifying = false
+		ok := reqs[:0]
+		for i, v := range verdicts {
+			if v {
+				ok = append(ok, reqs[i])
+			}
+		}
+		r.admit(ok)
+		r.kickVerify()
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-req", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// admit takes verified requests. If primaryship moved while the batch
+// was in flight, requests are re-routed instead of dropped.
+func (r *Replica) admit(reqs []Request) {
+	for _, req := range reqs {
+		if req.TS <= r.lastExec[req.Client] {
+			if rep, ok := r.replies[req.Client]; ok && r.isPrimary() {
+				r.reply(req.Client, req.TS, rep, true)
+			}
+			continue
+		}
+		if !r.isPrimary() {
+			r.env.Send(Primary(r.n, r.view), &MsgRequest{Req: req})
+			continue
+		}
+		r.pendingReqs = append(r.pendingReqs, req)
+	}
+	if !r.isPrimary() || r.electing || len(r.pendingReqs) == 0 {
+		return
+	}
 	if len(r.pendingReqs) >= r.cfg.BatchSize {
 		r.flush(false)
 	} else if !r.batchTimerSet {
@@ -386,6 +516,49 @@ func (r *Replica) onPrePrepare(from smr.NodeID, m *MsgPrePrepare) {
 	if _, ok := r.log[m.SN]; ok {
 		return
 	}
+	if !r.cfg.SignedRequests || len(m.Batch.Reqs) == 0 {
+		r.acceptPrePrepare(from, m)
+		return
+	}
+	// Dispatch half: a backup does not take the primary's word for the
+	// clients' signatures — verify the whole batch on the pool before
+	// voting. The apply half re-validates the view and the log slot,
+	// since other events (including a view change) may interleave.
+	if r.ppInFlight[m.SN] {
+		return
+	}
+	r.ppInFlight[m.SN] = true
+	view := r.view
+	batch := crypto.NewSigBatch(len(m.Batch.Reqs))
+	for i := range m.Batch.Reqs {
+		batch.Add(crypto.NodeID(m.Batch.Reqs[i].Client), m.Batch.Reqs[i].Sig, m.Batch.Reqs[i].appendSigPayload)
+	}
+	var ok bool
+	work := func() {
+		ok = r.verifyPool.VerifyAll(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		delete(r.ppInFlight, m.SN)
+		if !ok || r.view != view {
+			return
+		}
+		if _, dup := r.log[m.SN]; dup {
+			return
+		}
+		r.acceptPrePrepare(from, m)
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-batch", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// acceptPrePrepare is the complete half of pre-prepare handling: the
+// batch is authentic, so log it and vote.
+func (r *Replica) acceptPrePrepare(from smr.NodeID, m *MsgPrePrepare) {
 	r.log[m.SN] = &logEntry{View: m.View, SN: m.SN, Batch: m.Batch}
 	if r.sn < m.SN {
 		r.sn = m.SN
@@ -658,6 +831,12 @@ func (c *Client) Invoke(op []byte) {
 	}
 	c.ts++
 	req := Request{Op: op, TS: c.ts, Client: c.id}
+	if c.cfg.SignedRequests {
+		w := wire.Get()
+		req.appendSigPayload(w)
+		req.Sig = c.suite.Sign(crypto.NodeID(c.id), w.Done())
+		wire.Put(w)
+	}
 	c.pending = &pendingReq{req: req, sentAt: c.env.Now(), votes: make(map[smr.NodeID]crypto.Digest)}
 	c.env.Send(Primary(c.n, c.view), &MsgRequest{Req: req})
 	c.pending.timer = c.env.SetTimer(c.cfg.RequestTimeout, "req")

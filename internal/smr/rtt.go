@@ -1,0 +1,67 @@
+package smr
+
+import "time"
+
+// RTTEstimator tracks a peer's round-trip time as an exponentially
+// weighted moving average with a variance term, in the RFC 6298 shape
+// (srtt gain 1/8, rttvar gain 1/4). Fault detectors use it to derive
+// per-peer failure deadlines: a fixed probe timeout tuned for a LAN
+// falsely suspects healthy peers across a slow WAN link, while one
+// tuned for the slowest link detects real failures late on every other
+// link. The estimator is not safe for concurrent use; callers
+// serialize access (the transport guards it with the health mutex).
+type RTTEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	samples uint64
+}
+
+// Observe folds in one round-trip measurement.
+func (e *RTTEstimator) Observe(rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	e.samples++
+	if e.samples == 1 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		return
+	}
+	diff := e.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// Samples returns how many observations have been folded in.
+func (e *RTTEstimator) Samples() uint64 { return e.samples }
+
+// SRTT returns the smoothed round-trip estimate (zero before the first
+// sample).
+func (e *RTTEstimator) SRTT() time.Duration { return e.srtt }
+
+// Deadline returns how long a peer may stay silent before it should be
+// suspected, given the prober's interval and a configured floor. With
+// no samples it returns the floor unchanged — the fixed-timeout
+// behavior. Otherwise it allows the smoothed RTT plus the larger of
+// 4x the variance or one interval (a pong must at least survive probe
+// scheduling jitter), plus two more intervals for lost-probe slack,
+// and never less than the floor: adaptation only ever extends the
+// configured timeout for slow links, so fast links keep the tight
+// detection the floor encodes.
+func (e *RTTEstimator) Deadline(interval, floor time.Duration) time.Duration {
+	if e.samples == 0 {
+		return floor
+	}
+	slack := 4 * e.rttvar
+	if slack < interval {
+		slack = interval
+	}
+	d := e.srtt + slack + 2*interval
+	if d < floor {
+		return floor
+	}
+	return d
+}

@@ -1,0 +1,77 @@
+package smr
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTEstimatorFirstSample(t *testing.T) {
+	var e RTTEstimator
+	if e.Deadline(10*time.Millisecond, 25*time.Millisecond) != 25*time.Millisecond {
+		t.Fatal("no samples: deadline must be the configured floor")
+	}
+	e.Observe(40 * time.Millisecond)
+	if e.SRTT() != 40*time.Millisecond {
+		t.Fatalf("srtt = %v, want 40ms", e.SRTT())
+	}
+	// rttvar starts at rtt/2 = 20ms, so slack = 4*20ms = 80ms.
+	want := 40*time.Millisecond + 80*time.Millisecond + 20*time.Millisecond
+	if got := e.Deadline(10*time.Millisecond, 25*time.Millisecond); got != want {
+		t.Fatalf("deadline = %v, want %v", got, want)
+	}
+}
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	var e RTTEstimator
+	for i := 0; i < 100; i++ {
+		e.Observe(40 * time.Millisecond)
+	}
+	if srtt := e.SRTT(); srtt != 40*time.Millisecond {
+		t.Fatalf("steady srtt = %v, want 40ms", srtt)
+	}
+	// Variance decays toward zero on a steady link; the interval term
+	// then dominates the slack: deadline -> srtt + 3*interval.
+	d := e.Deadline(10*time.Millisecond, 25*time.Millisecond)
+	if d != 70*time.Millisecond {
+		t.Fatalf("steady deadline = %v, want 70ms", d)
+	}
+}
+
+func TestRTTEstimatorFlooredByConfiguredTimeout(t *testing.T) {
+	var e RTTEstimator
+	for i := 0; i < 100; i++ {
+		e.Observe(time.Millisecond) // a LAN-fast peer
+	}
+	// The adaptive deadline (1ms + 3*interval) would undercut a floor
+	// of 250ms; the floor must win so adaptation never tightens the
+	// operator's configured timeout.
+	if d := e.Deadline(10*time.Millisecond, 250*time.Millisecond); d != 250*time.Millisecond {
+		t.Fatalf("deadline = %v, want the 250ms floor", d)
+	}
+}
+
+func TestRTTEstimatorTracksShift(t *testing.T) {
+	var e RTTEstimator
+	for i := 0; i < 50; i++ {
+		e.Observe(5 * time.Millisecond)
+	}
+	fast := e.Deadline(10*time.Millisecond, 0)
+	for i := 0; i < 50; i++ {
+		e.Observe(80 * time.Millisecond)
+	}
+	slow := e.Deadline(10*time.Millisecond, 0)
+	if slow <= fast {
+		t.Fatalf("deadline did not widen after the link slowed: fast %v, slow %v", fast, slow)
+	}
+	if srtt := e.SRTT(); srtt < 70*time.Millisecond {
+		t.Fatalf("srtt = %v did not converge to the new 80ms regime", srtt)
+	}
+}
+
+func TestRTTEstimatorIgnoresNegative(t *testing.T) {
+	var e RTTEstimator
+	e.Observe(-time.Millisecond)
+	if e.Samples() != 0 {
+		t.Fatal("negative sample was folded in")
+	}
+}

@@ -1,0 +1,199 @@
+package transport
+
+// End-to-end acceptance for the codec registry: every protocol in the
+// benchmark arena — XPaxos and the four ported baselines — commits a
+// request over live loopback TCP with the transport resolving its
+// codec by name. The transport imports none of the protocol packages;
+// this test links them, their init functions register the codecs, and
+// WithCodec selects the right one per cluster. The baselines run with
+// SignedRequests so the client-signature verify pipeline (Env.Defer on
+// a real goroutine, not netsim) is exercised over the wire too.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/paxos"
+	"github.com/xft-consensus/xft/internal/pbft"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wire"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+	"github.com/xft-consensus/xft/internal/zab"
+	"github.com/xft-consensus/xft/internal/zyzzyva"
+)
+
+// arenaCluster is one protocol's replica set plus a closed-loop client
+// node, all on loopback TCP.
+type arenaCluster struct {
+	nodes  []*Node
+	client *Node
+	done   chan struct{}
+}
+
+func (ac *arenaCluster) stop() {
+	for _, nd := range ac.nodes {
+		nd.Stop()
+	}
+}
+
+// startCluster boots nReplicas protocol nodes plus one client node
+// under the named codec. replica(i) and client(onCommit) build the
+// hosted smr.Nodes.
+func startCluster(t *testing.T, codec string, nReplicas int,
+	replica func(i int) smr.Node, client func(done chan struct{}) smr.Node) *arenaCluster {
+	t.Helper()
+	ac := &arenaCluster{done: make(chan struct{}, 1)}
+	peers := map[smr.NodeID]string{}
+	for i := 0; i < nReplicas; i++ {
+		nd, err := NewNode(smr.NodeID(i), replica(i), "127.0.0.1:0", peers, WithCodec(codec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[smr.NodeID(i)] = nd.Addr()
+		ac.nodes = append(ac.nodes, nd)
+	}
+	cid := smr.NodeID(smr.ClientIDBase)
+	cnode, err := NewNode(cid, client(ac.done), "127.0.0.1:0", peers, WithCodec(codec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[cid] = cnode.Addr()
+	ac.client = cnode
+	ac.nodes = append(ac.nodes, cnode)
+	for _, nd := range ac.nodes {
+		go nd.Run()
+	}
+	t.Cleanup(ac.stop)
+	return ac
+}
+
+// runOne submits one op through the cluster's client node and waits
+// for its commit callback.
+func runOne(t *testing.T, proto string, ac *arenaCluster) {
+	t.Helper()
+	ac.client.Submit(smr.Invoke{Op: kv.PutOp("arena", []byte(proto))})
+	select {
+	case <-ac.done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: request did not commit over loopback TCP", proto)
+	}
+}
+
+func TestArenaAllProtocolsCommitOverTCP(t *testing.T) {
+	suite := testSuite(t)
+	const tf = 1
+
+	t.Run("xpaxos", func(t *testing.T) {
+		cfg := xpaxos.Config{
+			N: 3, T: tf, Suite: suite,
+			Delta:          200 * time.Millisecond,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+		}
+		ac := startCluster(t, xpaxos.CodecName, 3,
+			func(i int) smr.Node { return xpaxos.NewReplica(smr.NodeID(i), cfg, kv.NewStore()) },
+			func(done chan struct{}) smr.Node {
+				cl, err := xpaxos.NewClient(smr.NodeID(smr.ClientIDBase), xpaxos.ClientConfig{
+					N: 3, T: tf, Suite: suite,
+					RequestTimeout: 2 * time.Second,
+					OnCommit:       func(op, rep []byte, lat time.Duration) { done <- struct{}{} },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl
+			})
+		runOne(t, "xpaxos", ac)
+	})
+
+	t.Run("paxos", func(t *testing.T) {
+		cfg := paxos.Config{
+			N: 3, T: tf, Suite: suite,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+			SignedRequests: true,
+		}
+		ac := startCluster(t, paxos.CodecName, 3,
+			func(i int) smr.Node { return paxos.NewReplica(smr.NodeID(i), cfg, kv.NewStore()) },
+			func(done chan struct{}) smr.Node {
+				cl := paxos.NewClient(smr.NodeID(smr.ClientIDBase), cfg)
+				cl.OnCommit = func(op, rep []byte, lat time.Duration) { done <- struct{}{} }
+				return cl
+			})
+		runOne(t, "paxos", ac)
+	})
+
+	t.Run("pbft", func(t *testing.T) {
+		cfg := pbft.Config{
+			N: 4, T: tf, Suite: suite,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+			SignedRequests: true,
+		}
+		ac := startCluster(t, pbft.CodecName, 4,
+			func(i int) smr.Node { return pbft.NewReplica(smr.NodeID(i), cfg, kv.NewStore()) },
+			func(done chan struct{}) smr.Node {
+				cl := pbft.NewClient(smr.NodeID(smr.ClientIDBase), cfg)
+				cl.OnCommit = func(op, rep []byte, lat time.Duration) { done <- struct{}{} }
+				return cl
+			})
+		runOne(t, "pbft", ac)
+	})
+
+	t.Run("zab", func(t *testing.T) {
+		cfg := zab.Config{
+			N: 3, T: tf, Suite: suite,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+			SignedRequests: true,
+		}
+		ac := startCluster(t, zab.CodecName, 3,
+			func(i int) smr.Node { return zab.NewReplica(smr.NodeID(i), cfg, kv.NewStore()) },
+			func(done chan struct{}) smr.Node {
+				cl := zab.NewClient(smr.NodeID(smr.ClientIDBase), cfg)
+				cl.OnCommit = func(op, rep []byte, lat time.Duration) { done <- struct{}{} }
+				return cl
+			})
+		runOne(t, "zab", ac)
+	})
+
+	t.Run("zyzzyva", func(t *testing.T) {
+		cfg := zyzzyva.Config{
+			N: 4, T: tf, Suite: suite,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+			CommitTimeout:  100 * time.Millisecond,
+			SignedRequests: true,
+		}
+		ac := startCluster(t, zyzzyva.CodecName, 4,
+			func(i int) smr.Node { return zyzzyva.NewReplica(smr.NodeID(i), cfg, kv.NewStore()) },
+			func(done chan struct{}) smr.Node {
+				cl := zyzzyva.NewClient(smr.NodeID(smr.ClientIDBase), cfg)
+				cl.OnCommit = func(op, rep []byte, lat time.Duration) { done <- struct{}{} }
+				return cl
+			})
+		runOne(t, "zyzzyva", ac)
+	})
+}
+
+// TestWithCodecUnknownName pins NewNode's failure mode when the codec
+// was never registered.
+func TestWithCodecUnknownName(t *testing.T) {
+	_, err := NewNode(0, &sinkNode{}, "127.0.0.1:0", map[smr.NodeID]string{}, WithCodec("no-such-codec"))
+	if err == nil {
+		t.Fatal("NewNode accepted an unregistered codec")
+	}
+}
+
+// TestCodecRegistryHasAllProtocols pins that linking the five protocol
+// packages registers all five codecs.
+func TestCodecRegistryHasAllProtocols(t *testing.T) {
+	for _, name := range []string{
+		xpaxos.CodecName, paxos.CodecName, pbft.CodecName, zab.CodecName, zyzzyva.CodecName,
+	} {
+		if _, ok := wire.Lookup(name); !ok {
+			t.Errorf("codec %q not registered", name)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 // Package transport runs a single protocol node over real TCP — the
 // deployment mode behind cmd/xft-server and cmd/xft-client. Messages
 // travel as length-prefixed frames (frame.go) whose payload is a fixed
-// header (sender id) followed by the XPaxos wire codec's tag+body
-// encoding (internal/xpaxos/codec.go) — no gob, no type descriptors,
-// no reflection on the hot path.
+// header (sender id) followed by a wire codec's tag+body encoding —
+// no gob, no type descriptors, no reflection on the hot path. The
+// codec is resolved by name from the protocol-agnostic registry
+// (internal/wire): WithCodec selects the hosted protocol's codec, and
+// the default is XPaxos. The transport itself knows nothing about any
+// protocol's message types.
 //
 // Each peer has a dedicated writer goroutine fed by a bounded
 // drop-oldest send queue (sendq.go): Send never dials and never blocks,
@@ -40,8 +43,12 @@ import (
 
 	"github.com/xft-consensus/xft/internal/smr"
 	"github.com/xft-consensus/xft/internal/wire"
-	"github.com/xft-consensus/xft/internal/xpaxos"
 )
+
+// DefaultCodec is the wire codec used when WithCodec is not given.
+// It matches the registry name of the XPaxos codec without importing
+// the package (the hosting binary registers whichever codecs it links).
+const DefaultCodec = "xpaxos"
 
 // Tunables (overridable per node via Options).
 const (
@@ -86,6 +93,16 @@ func WithDialTimeout(d time.Duration) Option {
 			nd.dialTimeout = d
 		}
 	}
+}
+
+// WithCodec selects the registered wire codec (internal/wire) used to
+// encode and decode message frames. It must match the hosted protocol
+// node's message types — and the peers' choice — or every message is
+// rejected as malformed. NewNode fails if no codec is registered
+// under the name, which usually means the binary never imported the
+// protocol package whose init registers it.
+func WithCodec(name string) Option {
+	return func(nd *Node) { nd.codecName = name }
 }
 
 // WithTLS enables mutual TLS on every connection using the given
@@ -133,6 +150,9 @@ type Node struct {
 	queueCap    int
 	dialTimeout time.Duration
 
+	codecName string
+	codec     wire.Codec
+
 	tls           *TLS
 	probeInterval time.Duration
 	probeTimeout  time.Duration
@@ -175,6 +195,7 @@ type peerConn struct {
 	lastSeen time.Duration
 	rtt      time.Duration
 	up       bool
+	est      smr.RTTEstimator
 }
 
 // markSeen records a pong observation at now with the given round-trip
@@ -186,6 +207,7 @@ func (pc *peerConn) markSeen(now, rtt time.Duration) {
 	pc.hmu.Lock()
 	pc.lastSeen = now
 	pc.rtt = rtt
+	pc.est.Observe(rtt)
 	pc.hmu.Unlock()
 }
 
@@ -199,18 +221,22 @@ const (
 )
 
 // judgeHealth makes the probe loop's up/down decision: down when an
-// up peer has been silent past timeout, up when a down peer has
-// answered within it. Called only from the probe loop, so at most one
-// transition is in flight at a time.
-func (pc *peerConn) judgeHealth(now, timeout time.Duration) (healthTransition, time.Duration) {
+// up peer has been silent past its deadline, up when a down peer has
+// answered within it. The deadline is per-peer — the RTT estimator
+// stretches the configured timeout for peers whose measured round
+// trips need it, so one timeout serves both LAN and WAN links — but
+// never shrinks below it. Called only from the probe loop, so at most
+// one transition is in flight at a time.
+func (pc *peerConn) judgeHealth(now, interval, timeout time.Duration) (healthTransition, time.Duration) {
 	pc.hmu.Lock()
 	defer pc.hmu.Unlock()
+	deadline := pc.est.Deadline(interval, timeout)
 	silent := now - pc.lastSeen
 	switch {
-	case pc.up && silent > timeout:
+	case pc.up && silent > deadline:
 		pc.up = false
 		return healthWentDown, silent
-	case !pc.up && silent <= timeout:
+	case !pc.up && silent <= deadline:
 		pc.up = true
 		return healthWentUp, pc.rtt
 	}
@@ -278,6 +304,7 @@ func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.Node
 		cancel:      cancel,
 		queueCap:    DefaultSendQueueCap,
 		dialTimeout: DefaultDialTimeout,
+		codecName:   DefaultCodec,
 		conns:       make(map[smr.NodeID]*peerConn),
 		inbound:     make(map[net.Conn]struct{}),
 		timers:      smr.NewTimerSet(),
@@ -286,6 +313,13 @@ func NewNode(id smr.NodeID, node smr.Node, listenAddr string, peers map[smr.Node
 	for _, opt := range opts {
 		opt(n)
 	}
+	codec, ok := wire.Lookup(n.codecName)
+	if !ok {
+		ln.Close()
+		cancel()
+		return nil, fmt.Errorf("transport: wire codec %q not registered (import the protocol package that provides it)", n.codecName)
+	}
+	n.codec = codec
 	return n, nil
 }
 
@@ -371,9 +405,8 @@ type Stats struct {
 }
 
 // intakeReporter is implemented by hosted nodes that track request
-// admission (xpaxos.Replica). The stats type is smr's, keeping this
-// package protocol-agnostic (the xpaxos import above is for the wire
-// codec only).
+// admission (e.g. xpaxos.Replica). The stats type is smr's, keeping
+// this package protocol-agnostic.
 type intakeReporter interface {
 	IntakeStats() smr.IntakeStats
 }
@@ -495,7 +528,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		if authID >= 0 && smr.NodeID(from) != authID {
 			return // claimed sender contradicts the TLS identity
 		}
-		msg, err := xpaxos.DecodeMessage(payload[8:])
+		msg, err := n.codec.Decode(payload[8:])
 		if err != nil {
 			return
 		}
@@ -661,7 +694,7 @@ func (n *Node) writeLoop(pc *peerConn) {
 		if ok {
 			buf.Reset()
 			buf.I64(int64(n.id))
-			if err := xpaxos.AppendMessage(buf, m); err != nil {
+			if err := n.codec.Append(buf, m); err != nil {
 				pc.q.countDrops(1) // not encodable: shed, but count
 			} else if err := WriteFrame(bw, buf.Done()); err != nil {
 				if errors.Is(err, ErrFrameTooLarge) {
@@ -745,7 +778,7 @@ func (n *Node) probeLoop() {
 			if pc == nil {
 				return // node stopped
 			}
-			switch verdict, d := pc.judgeHealth(n.Now(), n.probeTimeout); verdict {
+			switch verdict, d := pc.judgeHealth(n.Now(), n.probeInterval, n.probeTimeout); verdict {
 			case healthWentDown:
 				n.deliverHealth(smr.PeerDown{Peer: id, LastSeen: d})
 			case healthWentUp:

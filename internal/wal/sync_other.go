@@ -1,0 +1,10 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync is unavailable;
+// the durability contract is identical, only the metadata flush that
+// fdatasync may skip is paid too.
+func datasync(f *os.File) error { return f.Sync() }

@@ -54,6 +54,10 @@ type Options struct {
 	// SegmentBytes is the size threshold at which the active segment
 	// is sealed and a new one started. Default 4 MiB.
 	SegmentBytes int64
+	// FullFsync forces Sync to flush all metadata (fsync) even where
+	// the fdatasync fast path is available. Replicas keep the default;
+	// the durability benchmark sets it to measure the delta.
+	FullFsync bool
 }
 
 // Log is a write-ahead log rooted at one directory. Methods are safe
@@ -65,11 +69,12 @@ type Log struct {
 	segBytes int64
 	// segs holds the first LSN of every live segment in ascending
 	// order; the last entry is the active segment.
-	segs   []uint64
-	f      *os.File // active segment
-	size   int64    // bytes of valid frames in the active segment
-	next   uint64   // next LSN to assign
-	closed bool
+	segs      []uint64
+	f         *os.File // active segment
+	size      int64    // bytes of valid frames in the active segment
+	next      uint64   // next LSN to assign
+	closed    bool
+	fullFsync bool
 }
 
 // Open opens (or creates) the log rooted at dir, repairing any torn
@@ -82,7 +87,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, segBytes: opts.SegmentBytes}
+	l := &Log{dir: dir, segBytes: opts.SegmentBytes, fullFsync: opts.FullFsync}
 	names, err := SegmentFiles(dir)
 	if err != nil {
 		return nil, err
@@ -190,14 +195,19 @@ func (l *Log) rotate() error {
 }
 
 // Sync makes every record appended so far durable — the group-commit
-// boundary.
+// boundary. On Linux it uses fdatasync: record data and the file size
+// extension reach disk, while pure metadata (timestamps) may not —
+// exactly what replay needs, one journal write cheaper per commit.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
-	return l.f.Sync()
+	if l.fullFsync {
+		return l.f.Sync()
+	}
+	return datasync(l.f)
 }
 
 // Replay calls fn for each record of the log's valid prefix, in LSN

@@ -1,0 +1,96 @@
+package wire
+
+// Protocol codec registry. Each replication protocol owns a wire codec
+// (a tag byte followed by explicit fixed-order field encodings, see
+// e.g. internal/xpaxos/codec.go); registering it here lets
+// protocol-agnostic layers — the TCP transport above all — encode and
+// decode that protocol's messages without importing its package. Tag
+// namespaces are per-protocol: two codecs are free to use the same tag
+// byte for different messages, because the codec is named out of band
+// (a transport is configured with exactly one codec).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// Codec marshals one protocol's message set to and from its wire
+// encoding.
+type Codec struct {
+	// Name identifies the codec in the registry ("xpaxos", "paxos", …).
+	Name string
+	// Append writes m's encoding (tag byte + body) to w. It errors on
+	// message types outside the codec's message set.
+	Append func(w *Buf, m smr.Message) error
+	// Decode parses one encoded message. Implementations must reject
+	// trailing bytes so every encoding stays canonical, and must
+	// tolerate hostile input (the codecs here are all fuzz-tested).
+	// Decoded byte-slice fields may alias the input buffer.
+	Decode func(b []byte) (smr.Message, error)
+}
+
+var (
+	regMu  sync.RWMutex
+	codecs = make(map[string]Codec)
+)
+
+// Register adds c to the process-wide registry. Protocol packages call
+// it from init, so importing a protocol package makes its codec
+// available to any transport in the process. Registering a duplicate
+// name or an incomplete codec panics: both are programming errors.
+func Register(c Codec) {
+	if c.Name == "" || c.Append == nil || c.Decode == nil {
+		panic("wire: incomplete codec registration")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := codecs[c.Name]; dup {
+		panic("wire: duplicate codec registration: " + c.Name)
+	}
+	codecs[c.Name] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := codecs[name]
+	return c, ok
+}
+
+// Codecs returns the registered codec names, sorted.
+func Codecs() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(codecs))
+	for name := range codecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Encode marshals m with the named codec into a fresh buffer.
+func Encode(name string, m smr.Message) ([]byte, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("wire: no codec registered as %q", name)
+	}
+	w := New(m.WireSize())
+	if err := c.Append(w, m); err != nil {
+		return nil, err
+	}
+	return w.Done(), nil
+}
+
+// Decode parses one message with the named codec.
+func Decode(name string, b []byte) (smr.Message, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("wire: no codec registered as %q", name)
+	}
+	return c.Decode(b)
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// regMsg is a minimal message for registry tests.
+type regMsg struct{ payload []byte }
+
+func (m *regMsg) Type() string  { return "reg-test" }
+func (m *regMsg) WireSize() int { return len(m.payload) + 1 }
+
+var errRegBad = errors.New("bad")
+
+func regTestCodec(name string) Codec {
+	return Codec{
+		Name: name,
+		Append: func(w *Buf, m smr.Message) error {
+			rm, ok := m.(*regMsg)
+			if !ok {
+				return errRegBad
+			}
+			w.U8(1).Bytes(rm.payload)
+			return nil
+		},
+		Decode: func(b []byte) (smr.Message, error) {
+			rd := NewReader(b)
+			tag, ok := rd.U8()
+			if !ok || tag != 1 {
+				return nil, errRegBad
+			}
+			p, ok := rd.Bytes()
+			if !ok || rd.Remaining() != 0 {
+				return nil, errRegBad
+			}
+			return &regMsg{payload: p}, nil
+		},
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	Register(regTestCodec("reg-test-roundtrip"))
+	if _, ok := Lookup("reg-test-roundtrip"); !ok {
+		t.Fatal("registered codec not found")
+	}
+	in := &regMsg{payload: []byte("hello")}
+	enc, err := Encode("reg-test-roundtrip", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode("reg-test-roundtrip", enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*regMsg); !bytes.Equal(got.payload, in.payload) {
+		t.Fatalf("round trip: got %q want %q", got.payload, in.payload)
+	}
+}
+
+func TestRegistryUnknownCodec(t *testing.T) {
+	if _, ok := Lookup("no-such-codec"); ok {
+		t.Fatal("lookup of unregistered codec succeeded")
+	}
+	if _, err := Encode("no-such-codec", &regMsg{}); err == nil {
+		t.Fatal("encode with unregistered codec succeeded")
+	}
+	if _, err := Decode("no-such-codec", nil); err == nil {
+		t.Fatal("decode with unregistered codec succeeded")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	Register(regTestCodec("reg-test-dup"))
+	mustPanic("duplicate", func() { Register(regTestCodec("reg-test-dup")) })
+	mustPanic("empty name", func() { Register(regTestCodec("")) })
+	mustPanic("nil append", func() {
+		c := regTestCodec("reg-test-nil-append")
+		c.Append = nil
+		Register(c)
+	})
+	mustPanic("nil decode", func() {
+		c := regTestCodec("reg-test-nil-decode")
+		c.Decode = nil
+		Register(c)
+	})
+}
+
+func TestRegistryCodecsSorted(t *testing.T) {
+	Register(regTestCodec("reg-test-zz"))
+	Register(regTestCodec("reg-test-aa"))
+	names := Codecs()
+	var za, aa bool
+	for i, n := range names {
+		if i > 0 && names[i-1] > n {
+			t.Fatalf("names not sorted: %v", names)
+		}
+		za = za || n == "reg-test-zz"
+		aa = aa || n == "reg-test-aa"
+	}
+	if !za || !aa {
+		t.Fatalf("registered names missing from %v", names)
+	}
+}

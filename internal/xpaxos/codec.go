@@ -48,6 +48,13 @@ const (
 // carries trailing bytes.
 var ErrBadMessage = errors.New("xpaxos: malformed message encoding")
 
+// CodecName is the registry name of the XPaxos wire codec.
+const CodecName = "xpaxos"
+
+func init() {
+	wire.Register(wire.Codec{Name: CodecName, Append: AppendMessage, Decode: DecodeMessage})
+}
+
 // Minimum encoded sizes per element, used to sanity-check slice counts
 // before allocating: a hostile count fails fast instead of provoking a
 // huge allocation.

@@ -34,9 +34,19 @@ type Request struct {
 	Op     []byte
 	TS     uint64
 	Client smr.NodeID
+	// Sig authenticates the request to the leader. Empty unless
+	// Config.SignedRequests is set; Zab proper authenticates clients
+	// by session, so signing is off by default for paper fidelity.
+	Sig crypto.Signature
 }
 
-func (r *Request) wireSize() int { return len(r.Op) + 24 }
+func (r *Request) wireSize() int { return len(r.Op) + 24 + len(r.Sig) + 4 }
+
+// appendSigPayload appends the domain-separated bytes covered by
+// Request.Sig.
+func (r *Request) appendSigPayload(w *wire.Buf) {
+	w.Str("zab-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+}
 
 // Batch groups requests into one proposal (a "transaction" batch).
 type Batch struct{ Reqs []Request }
@@ -133,6 +143,11 @@ type MsgEpochChange struct {
 // Type implements smr.Message.
 func (m *MsgEpochChange) Type() string { return "epoch-change" }
 
+// Bulk marks epoch-change history transfer as background traffic: a
+// prospective leader needs t+1 of them, and followers re-send on the
+// progress timer, so shedding one under pressure only delays recovery.
+func (m *MsgEpochChange) Bulk() bool { return true }
+
 // WireSize implements smr.Message.
 func (m *MsgEpochChange) WireSize() int {
 	s := msgHeader + 16
@@ -151,6 +166,11 @@ type MsgNewEpoch struct {
 
 // Type implements smr.Message.
 func (m *MsgNewEpoch) Type() string { return "new-epoch" }
+
+// Bulk marks the log-carrying epoch installation as background
+// traffic: followers that miss it stay in the old epoch and trigger a
+// fresh epoch change via the progress timer.
+func (m *MsgNewEpoch) Bulk() bool { return true }
 
 // WireSize implements smr.Message.
 func (m *MsgNewEpoch) WireSize() int {
@@ -175,6 +195,19 @@ type Config struct {
 	BatchTimeout   time.Duration
 	RequestTimeout time.Duration
 	Observer       smr.CommitObserver
+
+	// SignedRequests makes clients sign requests and the leader verify
+	// them before admission. Off by default (Zab authenticates clients
+	// by session); the benchmark arena enables it so every protocol
+	// carries the same client-authentication cost as XPaxos.
+	SignedRequests bool
+	// VerifyWorkers sizes the verification pool used when
+	// SignedRequests is set: 0 uses the process-wide shared pool, 1
+	// verifies serially on the caller, >1 builds a dedicated pool.
+	VerifyWorkers int
+	// DisableAsyncCrypto runs request verification inline in Step
+	// instead of deferring it through Env.Defer.
+	DisableAsyncCrypto bool
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +250,11 @@ type Replica struct {
 	batchTimer    smr.TimerID
 	batchTimerSet bool
 
+	verifyPool *crypto.Pool
+	asyncVer   bool
+	vqPending  []Request
+	verifying  bool
+
 	electing bool
 	ecs      map[smr.NodeID]*MsgEpochChange
 	progress smr.TimerID
@@ -234,6 +272,9 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		lastExec: make(map[smr.NodeID]uint64),
 		replies:  make(map[smr.NodeID][]byte),
 		ecs:      make(map[smr.NodeID]*MsgEpochChange),
+
+		verifyPool: crypto.PoolFor(cfg.VerifyWorkers),
+		asyncVer:   !cfg.DisableAsyncCrypto,
 	}
 }
 
@@ -251,6 +292,8 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onTimer(e)
 	case smr.Recv:
 		r.onRecv(e.From, e.Msg)
+	case smr.Async:
+		e.Apply()
 	}
 }
 
@@ -307,7 +350,81 @@ func (r *Replica) onRequest(from smr.NodeID, req Request) {
 		}
 		return
 	}
+	if r.cfg.SignedRequests {
+		r.vqPending = append(r.vqPending, req)
+		r.kickVerify()
+		return
+	}
 	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+// kickVerify drains the signed-request intake queue through the verify
+// pool, one batch in flight at a time. Requests arriving while a batch
+// is out accumulate and go out in the next batch, so verification
+// batches grow under load exactly like the XPaxos pipeline. No epoch
+// guard: client signatures are epoch-independent and admit re-checks
+// leadership per request, so an epoch change cannot wedge the queue.
+func (r *Replica) kickVerify() {
+	if r.verifying || len(r.vqPending) == 0 {
+		return
+	}
+	r.verifying = true
+	reqs := r.vqPending
+	r.vqPending = nil
+	batch := crypto.NewSigBatch(len(reqs))
+	for i := range reqs {
+		batch.Add(crypto.NodeID(reqs[i].Client), reqs[i].Sig, reqs[i].appendSigPayload)
+	}
+	var verdicts []bool
+	work := func() {
+		verdicts = r.verifyPool.VerifyEach(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		r.verifying = false
+		ok := reqs[:0]
+		for i := range reqs {
+			if verdicts[i] {
+				ok = append(ok, reqs[i])
+			}
+		}
+		r.admit(ok)
+		r.kickVerify()
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-req", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// admit enqueues verified requests, re-running the checks that may
+// have changed while verification was in flight (duplicates, epoch
+// changes that moved leadership elsewhere).
+func (r *Replica) admit(reqs []Request) {
+	for _, req := range reqs {
+		if req.TS <= r.lastExec[req.Client] {
+			if rep, ok := r.replies[req.Client]; ok && r.isLeader() {
+				r.reply(req.Client, req.TS, rep)
+			}
+			continue
+		}
+		if !r.isLeader() {
+			r.env.Send(Leader(r.n, r.epoch), &MsgRequest{Req: req})
+			continue
+		}
+		r.pendingReqs = append(r.pendingReqs, req)
+	}
+	if !r.isLeader() || r.electing || len(r.pendingReqs) == 0 {
+		return
+	}
 	if len(r.pendingReqs) >= r.cfg.BatchSize {
 		r.flush(false)
 	} else if !r.batchTimerSet {
@@ -619,6 +736,12 @@ func (c *Client) Invoke(op []byte) {
 	}
 	c.ts++
 	req := Request{Op: op, TS: c.ts, Client: c.id}
+	if c.cfg.SignedRequests {
+		w := wire.Get()
+		req.appendSigPayload(w)
+		req.Sig = c.suite.Sign(crypto.NodeID(c.id), w.Done())
+		wire.Put(w)
+	}
 	c.pending = &struct {
 		req    Request
 		sentAt time.Duration

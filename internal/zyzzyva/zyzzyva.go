@@ -31,9 +31,19 @@ type Request struct {
 	Op     []byte
 	TS     uint64
 	Client smr.NodeID
+	// Sig authenticates the request. Empty unless
+	// Config.SignedRequests is set; the paper's Zyzzyva baseline uses
+	// MAC authenticators, so signing is off by default.
+	Sig crypto.Signature
 }
 
-func (r *Request) wireSize() int { return len(r.Op) + 24 }
+func (r *Request) wireSize() int { return len(r.Op) + 24 + len(r.Sig) + 4 }
+
+// appendSigPayload appends the domain-separated bytes covered by
+// Request.Sig.
+func (r *Request) appendSigPayload(w *wire.Buf) {
+	w.Str("zz-req").Bytes(r.Op).U64(r.TS).I64(int64(r.Client))
+}
 
 // Batch groups requests.
 type Batch struct{ Reqs []Request }
@@ -141,6 +151,11 @@ type MsgViewChange struct {
 // Type implements smr.Message.
 func (m *MsgViewChange) Type() string { return "view-change" }
 
+// Bulk marks log-carrying view-change traffic as background: the new
+// primary needs 2t+1 of them and stragglers re-send on the progress
+// timer, so shedding one under pressure only delays the view change.
+func (m *MsgViewChange) Bulk() bool { return true }
+
 // WireSize implements smr.Message.
 func (m *MsgViewChange) WireSize() int {
 	s := msgHeader + 16 + len(m.Sig)
@@ -169,6 +184,11 @@ type MsgNewView struct {
 
 // Type implements smr.Message.
 func (m *MsgNewView) Type() string { return "new-view" }
+
+// Bulk marks the log-carrying view installation as background
+// traffic: a replica that misses it keeps its progress timer running
+// and triggers a fresh view change.
+func (m *MsgNewView) Bulk() bool { return true }
 
 // WireSize implements smr.Message.
 func (m *MsgNewView) WireSize() int {
@@ -206,6 +226,21 @@ type Config struct {
 	// back to the slow path.
 	CommitTimeout time.Duration
 	Observer      smr.CommitObserver
+
+	// SignedRequests makes clients sign requests; the primary verifies
+	// them before ordering and backups verify the batch before
+	// speculatively executing. Off by default (the paper's baseline
+	// uses MAC authenticators); the benchmark arena enables it so
+	// every protocol carries the same client-authentication cost as
+	// XPaxos.
+	SignedRequests bool
+	// VerifyWorkers sizes the verification pool used when
+	// SignedRequests is set: 0 uses the process-wide shared pool, 1
+	// verifies serially on the caller, >1 builds a dedicated pool.
+	VerifyWorkers int
+	// DisableAsyncCrypto runs request verification inline in Step
+	// instead of deferring it through Env.Defer.
+	DisableAsyncCrypto bool
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +286,12 @@ type Replica struct {
 	batchTimer    smr.TimerID
 	batchTimerSet bool
 
+	verifyPool *crypto.Pool
+	asyncVer   bool
+	vqPending  []Request
+	verifying  bool
+	orInFlight map[smr.SeqNum]bool
+
 	electing bool
 	vcs      map[smr.NodeID]*MsgViewChange
 	progress smr.TimerID
@@ -267,6 +308,10 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		replies:      make(map[smr.NodeID][]byte),
 		pendingOrder: make(map[smr.SeqNum]*MsgOrderReq),
 		vcs:          make(map[smr.NodeID]*MsgViewChange),
+
+		verifyPool: crypto.PoolFor(cfg.VerifyWorkers),
+		asyncVer:   !cfg.DisableAsyncCrypto,
+		orInFlight: make(map[smr.SeqNum]bool),
 	}
 }
 
@@ -284,6 +329,8 @@ func (r *Replica) Step(ev smr.Event) {
 		r.onTimer(e)
 	case smr.Recv:
 		r.onRecv(e.From, e.Msg)
+	case smr.Async:
+		e.Apply()
 	}
 }
 
@@ -338,7 +385,81 @@ func (r *Replica) onRequest(from smr.NodeID, req Request) {
 		}
 		return
 	}
+	if r.cfg.SignedRequests {
+		r.vqPending = append(r.vqPending, req)
+		r.kickVerify()
+		return
+	}
 	r.pendingReqs = append(r.pendingReqs, req)
+	if len(r.pendingReqs) >= r.cfg.BatchSize {
+		r.flush(false)
+	} else if !r.batchTimerSet {
+		r.batchTimer = r.env.SetTimer(r.cfg.BatchTimeout, "batch")
+		r.batchTimerSet = true
+	}
+}
+
+// kickVerify drains the signed-request intake queue through the verify
+// pool, one batch in flight at a time. Requests arriving while a batch
+// is out accumulate and go out in the next batch, so verification
+// batches grow under load exactly like the XPaxos pipeline. No view
+// guard: client signatures are view-independent and admit re-checks
+// primaryship per request, so a view change cannot wedge the queue.
+func (r *Replica) kickVerify() {
+	if r.verifying || len(r.vqPending) == 0 {
+		return
+	}
+	r.verifying = true
+	reqs := r.vqPending
+	r.vqPending = nil
+	batch := crypto.NewSigBatch(len(reqs))
+	for i := range reqs {
+		batch.Add(crypto.NodeID(reqs[i].Client), reqs[i].Sig, reqs[i].appendSigPayload)
+	}
+	var verdicts []bool
+	work := func() {
+		verdicts = r.verifyPool.VerifyEach(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		r.verifying = false
+		ok := reqs[:0]
+		for i := range reqs {
+			if verdicts[i] {
+				ok = append(ok, reqs[i])
+			}
+		}
+		r.admit(ok)
+		r.kickVerify()
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-req", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// admit enqueues verified requests, re-running the checks that may
+// have changed while verification was in flight (duplicates, view
+// changes that moved the primary elsewhere).
+func (r *Replica) admit(reqs []Request) {
+	for _, req := range reqs {
+		if req.TS <= r.lastExec[req.Client] {
+			if rep, ok := r.replies[req.Client]; ok {
+				r.specReply(req.Client, req.TS, rep, r.sn, r.isPrimary())
+			}
+			continue
+		}
+		if !r.isPrimary() {
+			r.env.Send(Primary(r.n, r.view), &MsgRequest{Req: req})
+			continue
+		}
+		r.pendingReqs = append(r.pendingReqs, req)
+	}
+	if !r.isPrimary() || r.electing || len(r.pendingReqs) == 0 {
+		return
+	}
 	if len(r.pendingReqs) >= r.cfg.BatchSize {
 		r.flush(false)
 	} else if !r.batchTimerSet {
@@ -385,6 +506,48 @@ func (r *Replica) onOrderReq(from smr.NodeID, m *MsgOrderReq) {
 	if !r.suite.VerifyMAC(crypto.NodeID(from), crypto.NodeID(r.id), r.orderPayload(m), m.MAC) {
 		return
 	}
+	if !r.cfg.SignedRequests || len(m.Batch.Reqs) == 0 {
+		r.acceptOrderReq(m)
+		return
+	}
+	// Dispatch half: batch-verify the clients' request signatures off
+	// the Step loop before speculatively executing. A correct primary
+	// forwards only verified requests, so one bad signature rejects
+	// the whole order-req. The apply half re-checks the view —
+	// order-reqs are view-specific — and acceptOrderReq's sequential
+	// drain through pendingOrder tolerates out-of-order completions.
+	if r.orInFlight[m.SN] {
+		return
+	}
+	r.orInFlight[m.SN] = true
+	view := r.view
+	batch := crypto.NewSigBatch(len(m.Batch.Reqs))
+	for i := range m.Batch.Reqs {
+		batch.Add(crypto.NodeID(m.Batch.Reqs[i].Client), m.Batch.Reqs[i].Sig, m.Batch.Reqs[i].appendSigPayload)
+	}
+	var ok bool
+	work := func() {
+		ok = r.verifyPool.VerifyAll(r.suite, batch.Jobs())
+		batch.Release()
+	}
+	apply := func() {
+		delete(r.orInFlight, m.SN)
+		if !ok || r.view != view {
+			return
+		}
+		r.acceptOrderReq(m)
+	}
+	if r.asyncVer {
+		r.env.Defer("verify-batch", work, apply)
+	} else {
+		work()
+		apply()
+	}
+}
+
+// acceptOrderReq is the complete half of order-req handling: it files
+// the proposal and drains the in-order prefix speculatively.
+func (r *Replica) acceptOrderReq(m *MsgOrderReq) {
 	r.pendingOrder[m.SN] = m
 	for {
 		next, ok := r.pendingOrder[r.sn+1]
@@ -631,6 +794,12 @@ func (c *Client) Invoke(op []byte) {
 	}
 	c.ts++
 	req := Request{Op: op, TS: c.ts, Client: c.id}
+	if c.cfg.SignedRequests {
+		w := wire.Get()
+		req.appendSigPayload(w)
+		req.Sig = c.suite.Sign(crypto.NodeID(c.id), w.Done())
+		wire.Put(w)
+	}
 	c.pending = &pendingReq{
 		req: req, sentAt: c.env.Now(),
 		votes: make(map[smr.NodeID]*MsgSpecResponse),
