@@ -33,6 +33,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if args[0] == "campaign" {
+		os.Exit(runCampaign(args[1:]))
+	}
 	sc := bench.Scale{Quick: !*full}
 	if args[0] == "all" {
 		args = []string{"table1", "table2", "table3", "fig2", "fig6", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "table5678"}
@@ -82,5 +85,6 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xft-bench [-full] <experiment>...
+       xft-bench campaign [flags]   (see: xft-bench campaign -h)
 experiments: all fig2 fig6 fig7a fig7b fig7c fig8 fig9 fig10 table1 table2 table3 table5678 batchverify asynccrypto tlsoverhead arena`)
 }

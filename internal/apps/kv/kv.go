@@ -159,6 +159,37 @@ func (s *Store) Snapshot() []byte {
 	return w.Done()
 }
 
+// ---------------------------------------------------------------------------
+// Checker adapter: per-client monotone write workloads
+// ---------------------------------------------------------------------------
+//
+// Adversarial campaigns drive each client through a stream of writes to
+// a client-private key, with the value carrying a strictly increasing
+// write sequence number. Because every value is self-describing,
+// per-client linearizability reduces to checkable facts: acknowledged
+// writes must never regress, and the final replicated value must be at
+// least the last acknowledged sequence number.
+
+// SeqPutOp encodes a put of write number seq to the client's key.
+func SeqPutOp(key string, seq uint64) []byte {
+	return PutOp(key, wire.New(8).U64(seq).Done())
+}
+
+// SeqFromValue decodes a value written by SeqPutOp.
+func SeqFromValue(v []byte) (uint64, bool) {
+	return wire.NewReader(v).U64()
+}
+
+// LastSeq reports the write sequence number currently stored under
+// key, or ok=false if the key is absent or was not written by SeqPutOp.
+func (s *Store) LastSeq(key string) (uint64, bool) {
+	v, ok := s.data[key]
+	if !ok {
+		return 0, false
+	}
+	return SeqFromValue(v)
+}
+
 // Restore implements smr.Application.
 func (s *Store) Restore(snap []byte) error {
 	rd := wire.NewReader(snap)

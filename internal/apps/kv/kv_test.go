@@ -103,3 +103,22 @@ func TestPropertyDeterministicReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeqPutAdapter(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.LastSeq("c1"); ok {
+		t.Fatal("LastSeq on missing key should fail")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if rep := s.Execute(SeqPutOp("c1", seq)); rep[0] != StatusOK {
+			t.Fatalf("seq put %d: status %d", seq, rep[0])
+		}
+	}
+	got, ok := s.LastSeq("c1")
+	if !ok || got != 5 {
+		t.Fatalf("LastSeq = %d,%v, want 5,true", got, ok)
+	}
+	if v, ok := SeqFromValue([]byte{1}); ok {
+		t.Fatalf("SeqFromValue on short value = %d, want !ok", v)
+	}
+}

@@ -12,6 +12,7 @@ package zk
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/xft-consensus/xft/internal/wire"
@@ -330,6 +331,51 @@ func (s *Store) children(path string) []byte {
 
 // NodeCount returns the number of znodes (including the root).
 func (s *Store) NodeCount() int { return len(s.nodes) }
+
+// ---------------------------------------------------------------------------
+// Checker adapter: session-semantics probes
+// ---------------------------------------------------------------------------
+//
+// Adversarial campaigns use sequential creates under a client-private
+// parent as the ZooKeeper workload: the store assigns each create a
+// monotonically increasing counter suffix, so acknowledged creation
+// paths encode the order the service executed a session's requests in.
+// A session is consistent iff its acknowledged suffixes are strictly
+// increasing in acknowledgment order and every acknowledged path exists
+// in the final replicated tree.
+
+// SeqSuffix extracts the sequential counter from a path created with
+// ModeSequential ("/a/job0000000042" → 42). ok is false when the path
+// does not end in the store's 10-digit counter format.
+func SeqSuffix(path string) (uint64, bool) {
+	const digits = 10
+	if len(path) < digits {
+		return 0, false
+	}
+	suffix := path[len(path)-digits:]
+	v, err := strconv.ParseUint(suffix, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Exists reports whether path names a znode (for checkers; replicated
+// reads go through Execute).
+func (s *Store) Exists(path string) bool {
+	_, ok := s.nodes[path]
+	return ok
+}
+
+// ChildCount returns the number of children of path, or -1 if the
+// znode does not exist.
+func (s *Store) ChildCount(path string) int {
+	n, ok := s.nodes[path]
+	if !ok {
+		return -1
+	}
+	return len(n.children)
+}
 
 // Snapshot implements smr.Application (deterministic ordering).
 func (s *Store) Snapshot() []byte {

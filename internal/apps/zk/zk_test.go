@@ -211,3 +211,38 @@ func TestManyNodes(t *testing.T) {
 		t.Fatalf("restore large store: %v count=%d", err, r.NodeCount())
 	}
 }
+
+func TestSeqSuffixAdapter(t *testing.T) {
+	s := NewStore()
+	if rep := s.Execute(CreateOp("/c1", nil, ModePersistent)); ReplyStatus(rep) != StatusOK {
+		t.Fatalf("create parent: %d", ReplyStatus(rep))
+	}
+	var last uint64
+	for i := 0; i < 3; i++ {
+		rep := s.Execute(CreateOp("/c1/job", nil, ModeSequential))
+		path, err := ReplyPath(rep)
+		if err != nil {
+			t.Fatalf("create seq: %v", err)
+		}
+		seq, ok := SeqSuffix(path)
+		if !ok {
+			t.Fatalf("no suffix in %q", path)
+		}
+		if i > 0 && seq <= last {
+			t.Fatalf("suffix not increasing: %d after %d", seq, last)
+		}
+		last = seq
+		if !s.Exists(path) {
+			t.Fatalf("created path %q missing", path)
+		}
+	}
+	if s.ChildCount("/c1") != 3 {
+		t.Fatalf("ChildCount = %d, want 3", s.ChildCount("/c1"))
+	}
+	if s.ChildCount("/absent") != -1 {
+		t.Fatalf("ChildCount on missing node should be -1")
+	}
+	if _, ok := SeqSuffix("/short"); ok {
+		t.Fatal("SeqSuffix on non-sequential path should fail")
+	}
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// checker ingests the commit stream of every replica (via the
+// smr.CommitObserver hook) and asserts commit agreement — the "no
+// divergent committed prefixes" half of the XFT safety guarantee: the
+// batch a replica ultimately holds committed at sequence number sn must
+// be identical, request for request and in order, across all replicas
+// that committed sn.
+//
+// The observer deliberately re-notifies: a view change re-commits
+// selected entries and catch-up re-stores them, so the same (client,
+// ts) may appear more than once per replica and an sn may be notified
+// in multiple bursts. Each burst starts with Committed.First set, and a
+// new burst at an sn supersedes the previous content — matching the
+// replica's own commitLog[sn] = entry semantics. The checker therefore
+// keeps one rolling hash per (sn, replica) over the LAST notified batch
+// and compares those at the end of the run.
+//
+// The session-level invariants — at-most-once execution, session
+// order, no lost acked writes — are checked against the applications
+// and client acknowledgments in campaign.finalize, where execution
+// (not commitment) is observable.
+type checker struct {
+	n       int
+	clients int
+	// agree[sn][replica] is the rolling hash of the batch replica most
+	// recently committed at sn (0 = never committed).
+	agree   map[smr.SeqNum][]uint64
+	violate func(kind, detail string)
+
+	// commits counts observer notifications (all replicas, including
+	// re-commits).
+	commits uint64
+}
+
+func newChecker(n, clients int, violate func(kind, detail string)) *checker {
+	return &checker{
+		n:       n,
+		clients: clients,
+		agree:   make(map[smr.SeqNum][]uint64),
+		violate: violate,
+	}
+}
+
+// onCommit is the smr.CommitObserver for every replica. It runs inside
+// Step, so it only updates counters and hashes.
+func (ck *checker) onCommit(cm smr.Committed) {
+	r := int(cm.Replica)
+	if r < 0 || r >= ck.n {
+		return
+	}
+	ck.commits++
+	hs := ck.agree[cm.Seq]
+	if hs == nil {
+		hs = make([]uint64, ck.n)
+		ck.agree[cm.Seq] = hs
+	}
+	if cm.First {
+		hs[r] = 0 // a re-committed entry supersedes the old content
+	}
+	hs[r] = mixCommit(hs[r], cm)
+}
+
+// finalizeAgreement scans every observed sequence number for divergent
+// committed batches and returns the number of divergent sns.
+func (ck *checker) finalizeAgreement() int {
+	sns := make([]smr.SeqNum, 0, len(ck.agree))
+	for sn := range ck.agree {
+		sns = append(sns, sn)
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+	divergent := 0
+	for _, sn := range sns {
+		hs := ck.agree[sn]
+		var ref uint64
+		bad := false
+		for _, h := range hs {
+			if h == 0 {
+				continue // replica never committed this sn (lagging/crashed)
+			}
+			if ref == 0 {
+				ref = h
+			} else if h != ref {
+				bad = true
+			}
+		}
+		if bad {
+			divergent++
+			if divergent <= 5 {
+				detail := fmt.Sprintf("sn %d committed differently across replicas:", sn)
+				for r, h := range hs {
+					if h != 0 {
+						detail += fmt.Sprintf(" r%d=%016x", r, h)
+					}
+				}
+				ck.violate("commit-divergence", detail)
+			}
+		}
+	}
+	if divergent > 5 {
+		ck.violate("commit-divergence", fmt.Sprintf("...and %d more divergent sequence numbers", divergent-5))
+	}
+	return divergent
+}
+
+// mixCommit folds one committed request into the (sn, replica) rolling
+// hash (FNV-1a). Only (client, ts, digest) participate — not the view —
+// so re-committing the same batch after a view change hashes equal, and
+// any difference in content or order is a true divergence.
+func mixCommit(h uint64, cm smr.Committed) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	if h == 0 {
+		h = offset
+	}
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	u64(uint64(cm.Client))
+	u64(cm.ClientTS)
+	for i := 0; i < len(cm.Digest); i += 8 {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v = v<<8 | uint64(cm.Digest[i+j])
+		}
+		u64(v)
+	}
+	return h
+}

@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+func collectViolations() (*[]string, func(kind, detail string)) {
+	var got []string
+	return &got, func(kind, detail string) { got = append(got, kind+": "+detail) }
+}
+
+func committed(replica int, sn uint64, client int, ts uint64, tag byte, first bool) smr.Committed {
+	cm := smr.Committed{
+		Replica:  smr.NodeID(replica),
+		Seq:      smr.SeqNum(sn),
+		Client:   smr.ClientIDBase + smr.NodeID(client),
+		ClientTS: ts,
+		First:    first,
+	}
+	cm.Digest[0] = tag
+	return cm
+}
+
+// The checker must accept identical commit streams across replicas.
+func TestCheckerAgreementClean(t *testing.T) {
+	got, violate := collectViolations()
+	ck := newChecker(3, 2, violate)
+	for r := 0; r < 3; r++ {
+		ck.onCommit(committed(r, 1, 0, 1, 0xaa, true)) // sn 1: batch of two
+		ck.onCommit(committed(r, 1, 1, 1, 0xbb, false))
+		ck.onCommit(committed(r, 2, 0, 2, 0xcc, true)) // sn 2: singleton
+	}
+	if d := ck.finalizeAgreement(); d != 0 {
+		t.Fatalf("clean streams flagged divergent: %d (%v)", d, *got)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("unexpected violations: %v", *got)
+	}
+}
+
+// The checker must flag replicas committing different requests at the
+// same sequence number — a divergent committed prefix.
+func TestCheckerCatchesCommitDivergence(t *testing.T) {
+	got, violate := collectViolations()
+	ck := newChecker(3, 2, violate)
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(1, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(2, 1, 1, 1, 0xbb, true)) // replica 2: different request at sn 1
+	if d := ck.finalizeAgreement(); d != 1 {
+		t.Fatalf("divergent sn count = %d, want 1", d)
+	}
+	if len(*got) != 1 || !strings.HasPrefix((*got)[0], "commit-divergence") {
+		t.Fatalf("violations = %v, want one commit-divergence", *got)
+	}
+}
+
+// Order within a batch matters: same requests, different execution
+// order must diverge.
+func TestCheckerCatchesReordering(t *testing.T) {
+	_, violate := collectViolations()
+	ck := newChecker(2, 2, violate)
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(0, 1, 1, 1, 0xbb, false))
+	ck.onCommit(committed(1, 1, 1, 1, 0xbb, true))
+	ck.onCommit(committed(1, 1, 0, 1, 0xaa, false))
+	if d := ck.finalizeAgreement(); d != 1 {
+		t.Fatalf("reordered batch not flagged (divergent=%d)", d)
+	}
+}
+
+// A view change may legitimately re-commit an entry at the same sn on
+// some replicas but not others; the re-notification (a fresh burst with
+// First set) must supersede, not fold, or every re-commit would be a
+// false divergence.
+func TestCheckerReCommitSupersedes(t *testing.T) {
+	got, violate := collectViolations()
+	ck := newChecker(2, 2, violate)
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true)) // commits once...
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true)) // ...then re-commits after a view change
+	ck.onCommit(committed(1, 1, 0, 1, 0xaa, true)) // peer committed once
+	if d := ck.finalizeAgreement(); d != 0 {
+		t.Fatalf("identical re-commit flagged divergent: %v", *got)
+	}
+}
+
+// But a re-commit that CHANGES the content at an sn another replica
+// still holds differently is a real divergence.
+func TestCheckerCatchesDivergentReCommit(t *testing.T) {
+	_, violate := collectViolations()
+	ck := newChecker(2, 2, violate)
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(1, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(1, 1, 1, 9, 0xee, true)) // replica 1 rewrites sn 1
+	if d := ck.finalizeAgreement(); d != 1 {
+		t.Fatalf("divergent re-commit not flagged (divergent=%d)", d)
+	}
+}
+
+// A lagging replica that never saw an sn must not count as divergent.
+func TestCheckerIgnoresLaggards(t *testing.T) {
+	got, violate := collectViolations()
+	ck := newChecker(3, 1, violate)
+	ck.onCommit(committed(0, 1, 0, 1, 0xaa, true))
+	ck.onCommit(committed(1, 1, 0, 1, 0xaa, true))
+	// replica 2 never commits sn 1.
+	if d := ck.finalizeAgreement(); d != 0 {
+		t.Fatalf("laggard flagged as divergence: %v", *got)
+	}
+}

@@ -16,6 +16,7 @@
 package faults
 
 import (
+	"sort"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/smr"
@@ -141,6 +142,30 @@ func (s *Switchable) Filter(to smr.NodeID, m smr.Message) []Send {
 	return PassThrough(to, m)
 }
 
+// DropNth drops every nth outgoing message (1-based: n=3 drops the
+// 3rd, 6th, ...). Deterministic flaky-channel behavior without any
+// randomness of its own, so schedules composed from it replay
+// bit-for-bit. n <= 1 drops everything (equivalent to Mute).
+func DropNth(n int) SendFilter {
+	count := 0
+	return func(to smr.NodeID, m smr.Message) []Send {
+		count++
+		if n <= 1 || count%n == 0 {
+			return nil
+		}
+		return PassThrough(to, m)
+	}
+}
+
+// Duplicate sends every outgoing message twice — the classic
+// at-least-once channel fault. Protocols built on reliable FIFO links
+// must tolerate it anyway (retransmissions look identical).
+func Duplicate() SendFilter {
+	return func(to smr.NodeID, m smr.Message) []Send {
+		return []Send{{To: to, Msg: m}, {To: to, Msg: m}}
+	}
+}
+
 // Script schedules fault actions at fixed virtual times on a network
 // that exposes At (the netsim.Network does). It exists so experiment
 // code reads as a fault timetable.
@@ -150,3 +175,78 @@ type Script struct {
 
 // Do schedules fn at the given offset.
 func (s Script) Do(at time.Duration, fn func()) { s.At(at, fn) }
+
+// ---------------------------------------------------------------------------
+// Schedule composition
+// ---------------------------------------------------------------------------
+
+// Action is one scheduled fault event: at virtual time At, run Do.
+// Name labels the action for traces ("crash 3", "heal partition").
+type Action struct {
+	At   time.Duration
+	Name string
+	Do   func()
+}
+
+// Timeline is an ordered fault schedule assembled from independently
+// generated storms (crash waves, partition sweeps, byzantine windows).
+// Actions keep their insertion order at equal times, so merging
+// generators in a fixed order yields a deterministic composite
+// schedule from a single PRNG seed.
+type Timeline struct {
+	actions []Action
+	seq     []int // insertion order, the tie-break at equal At
+}
+
+// Add appends one action to the timeline.
+func (tl *Timeline) Add(at time.Duration, name string, do func()) {
+	tl.actions = append(tl.actions, Action{At: at, Name: name, Do: do})
+	tl.seq = append(tl.seq, len(tl.seq))
+}
+
+// Merge appends every action of other (preserving other's internal
+// order at equal times, after this timeline's own equal-time actions).
+func (tl *Timeline) Merge(other *Timeline) {
+	for _, a := range other.Sorted() {
+		tl.Add(a.At, a.Name, a.Do)
+	}
+}
+
+// Len returns the number of actions.
+func (tl *Timeline) Len() int { return len(tl.actions) }
+
+// Sorted returns the actions ordered by (time, insertion order).
+func (tl *Timeline) Sorted() []Action {
+	idx := make([]int, len(tl.actions))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := tl.actions[idx[i]], tl.actions[idx[j]]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return tl.seq[idx[i]] < tl.seq[idx[j]]
+	})
+	out := make([]Action, len(idx))
+	for i, k := range idx {
+		out[i] = tl.actions[k]
+	}
+	return out
+}
+
+// Install schedules every action through at (typically
+// netsim.Network.At), in sorted order. observe, if non-nil, is called
+// with each action as it fires — campaign engines use it to record the
+// executed fault timeline in the run trace.
+func (tl *Timeline) Install(at func(time.Duration, func()), observe func(Action)) {
+	for _, a := range tl.Sorted() {
+		a := a
+		at(a.At, func() {
+			if observe != nil {
+				observe(a)
+			}
+			a.Do()
+		})
+	}
+}

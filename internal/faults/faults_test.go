@@ -123,3 +123,74 @@ type nodeFunc func(env smr.Env)
 
 func (f nodeFunc) Init(env smr.Env) { f(env) }
 func (f nodeFunc) Step(smr.Event)   {}
+
+func TestDropNth(t *testing.T) {
+	got := runPair(t, DropNth(3), []msg{{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}, {"g"}})
+	want := []string{"a", "b", "d", "e", "g"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	got := runPair(t, Duplicate(), []msg{{"a"}, {"b"}})
+	want := []string{"a", "a", "b", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTimelineOrderAndMerge asserts the schedule composition contract:
+// actions sort by time with insertion order as the tie-break, and
+// merging timelines preserves each source's internal order.
+func TestTimelineOrderAndMerge(t *testing.T) {
+	var a, b Timeline
+	a.Add(20*time.Millisecond, "a2", nil)
+	a.Add(10*time.Millisecond, "a1", nil)
+	a.Add(10*time.Millisecond, "a1b", nil)
+	b.Add(10*time.Millisecond, "b1", nil)
+	b.Add(5*time.Millisecond, "b0", nil)
+	a.Merge(&b)
+	var names []string
+	for _, act := range a.Sorted() {
+		names = append(names, act.Name)
+	}
+	want := []string{"b0", "a1", "a1b", "b1", "a2"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got %v, want %v", names, want)
+		}
+	}
+}
+
+// TestTimelineInstallFires runs a timeline against the simulator and
+// checks that every action fires exactly once, in order, and that the
+// observer sees the executed schedule.
+func TestTimelineInstallFires(t *testing.T) {
+	net := netsim.New(netsim.Config{Latency: netsim.Uniform{Delay: time.Millisecond}})
+	var tl Timeline
+	var fired, observed []string
+	tl.Add(2*time.Millisecond, "x", func() { fired = append(fired, "x") })
+	tl.Add(1*time.Millisecond, "y", func() { fired = append(fired, "y") })
+	tl.Install(net.At, func(a Action) { observed = append(observed, a.Name) })
+	net.RunFor(10 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != "y" || fired[1] != "x" {
+		t.Fatalf("fired %v, want [y x]", fired)
+	}
+	if len(observed) != 2 || observed[0] != "y" || observed[1] != "x" {
+		t.Fatalf("observed %v, want [y x]", observed)
+	}
+}

@@ -22,6 +22,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/crypto"
@@ -106,6 +107,12 @@ type Network struct {
 	nodes map[smr.NodeID]*simNode
 	// downLinks holds directed links currently cut; key is [from,to].
 	downLinks map[[2]smr.NodeID]bool
+	// extraDelay holds per-directed-link additional one-way latency
+	// (SetExtraDelay), modeling congested or lagging paths: messages
+	// still deliver — unlike a cut link — but arbitrarily late, which is
+	// exactly the "partitioned in time" asynchrony of the XFT fault
+	// model (a slow replica counts against t just like a crashed one).
+	extraDelay map[[2]smr.NodeID]time.Duration
 	// linkClock enforces FIFO delivery per directed link: a message may
 	// not arrive before an earlier message on the same link. The paper
 	// assumes reliable (ordered) point-to-point channels (Section 2).
@@ -132,6 +139,7 @@ func New(cfg Config) *Network {
 		cfg:          cfg,
 		nodes:        make(map[smr.NodeID]*simNode),
 		downLinks:    make(map[[2]smr.NodeID]bool),
+		extraDelay:   make(map[[2]smr.NodeID]time.Duration),
 		linkClock:    make(map[[2]smr.NodeID]time.Duration),
 		msgTypeCount: make(map[string]uint64),
 		msgTypeBytes: make(map[string]uint64),
@@ -318,6 +326,49 @@ func (n *Network) Partition(group ...smr.NodeID) {
 // HealAll restores every cut link.
 func (n *Network) HealAll() { n.downLinks = make(map[[2]smr.NodeID]bool) }
 
+// SetExtraDelay adds d of one-way latency to every future message from
+// a to b (on top of the configured latency model). Zero removes the
+// extra delay. Keepalive probes between the pair pay it too, so a
+// sufficiently lagged replica is declared down by the health monitors
+// even though its messages still (eventually) arrive — a slow machine,
+// not a dead one.
+func (n *Network) SetExtraDelay(a, b smr.NodeID, d time.Duration) {
+	if d <= 0 {
+		delete(n.extraDelay, [2]smr.NodeID{a, b})
+		return
+	}
+	n.extraDelay[[2]smr.NodeID{a, b}] = d
+}
+
+// Lag applies SetExtraDelay in both directions between a and b.
+func (n *Network) Lag(a, b smr.NodeID, d time.Duration) {
+	n.SetExtraDelay(a, b, d)
+	n.SetExtraDelay(b, a, d)
+}
+
+// ClearExtraDelays removes every extra delay installed by
+// SetExtraDelay/Lag.
+func (n *Network) ClearExtraDelays() { n.extraDelay = make(map[[2]smr.NodeID]time.Duration) }
+
+// oneWay samples the modeled propagation delay from a to b, including
+// any extra delay installed on the directed link.
+func (n *Network) oneWay(a, b smr.NodeID) time.Duration {
+	return n.cfg.Latency.OneWay(n.eng.Rand(), a, b) + n.extraDelay[[2]smr.NodeID{a, b}]
+}
+
+// Nodes returns every registered node ID in ascending order (replicas
+// first, then clients — the flat ID space is ordered). Campaign-style
+// experiments iterate it instead of the internal map so runs stay
+// deterministic.
+func (n *Network) Nodes() []smr.NodeID {
+	out := make([]smr.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Connection health monitoring (the simulator's model of the TCP
 // transport's keepalive probes)
@@ -407,8 +458,7 @@ func (n *Network) StartHealthMonitors(ids ...smr.NodeID) {
 			if !n.probeReachable(a, b) {
 				continue
 			}
-			rtt := n.cfg.Latency.OneWay(n.eng.Rand(), a, b) +
-				n.cfg.Latency.OneWay(n.eng.Rand(), b, a)
+			rtt := n.oneWay(a, b) + n.oneWay(b, a)
 			n.eng.After(rtt, func() {
 				// Dropped if either end died or the link was cut while
 				// the probe was in flight.
@@ -744,7 +794,7 @@ func (sn *simNode) transmit(ready time.Duration, to smr.NodeID, m smr.Message) {
 		sn.net.eng.At(ready, func() { sn.net.deliver(sn.id, sn.id, m) })
 		return
 	}
-	lat := sn.net.cfg.Latency.OneWay(sn.net.eng.Rand(), sn.id, to)
+	lat := sn.net.oneWay(sn.id, to)
 	from := sn.id
 	arrive := txEnd + lat
 	link := [2]smr.NodeID{from, to}

@@ -210,6 +210,13 @@ type Committed struct {
 	Digest   [32]byte // digest of the request (crypto.Digest)
 	Client   NodeID
 	ClientTS uint64
+	// First marks the first request of a committed entry's batch: one
+	// notification burst per stored entry starts with First set. A
+	// replica may legitimately re-notify the same sequence number (a
+	// view change re-commits selected entries; catch-up re-stores
+	// them), so observers reconstructing per-sn batch content must
+	// treat First as "previous content at this sn is superseded".
+	First bool
 }
 
 // CommitObserver receives commit notifications. Protocols invoke it

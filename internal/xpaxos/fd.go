@@ -159,6 +159,19 @@ func (r *Replica) detectFaults(st *vcState) {
 		}
 	}
 
+	// Index each message's prepare log by sequence number once: the
+	// predicate loop below probes it per (entry, message) pair, and a
+	// linear scan there is quadratic in the unstable tail length —
+	// ruinous exactly when view changes churn and the tail grows.
+	prepIdx := make([]map[smr.SeqNum]*PrepareEntry, len(msgs))
+	for i, m := range msgs {
+		idx := make(map[smr.SeqNum]*PrepareEntry, len(m.PrepareLog))
+		for j := range m.PrepareLog {
+			idx[m.PrepareLog[j].SN()] = &m.PrepareLog[j]
+		}
+		prepIdx[i] = idx
+	}
+
 	for _, mPrime := range msgs { // m' carries the commit log evidence
 		for ci := range mPrime.CommitLog {
 			ce := &mPrime.CommitLog[ci]
@@ -168,7 +181,7 @@ func (r *Replica) detectFaults(st *vcState) {
 			sn := ce.SN()
 			iPrime := ce.View() // view in which the entry was committed
 			group := SyncGroup(r.n, r.t, iPrime)
-			for _, m := range msgs { // m is the suspect's message
+			for mi, m := range msgs { // m is the suspect's message
 				sk := m.From
 				if sk == mPrime.From {
 					continue
@@ -179,7 +192,7 @@ func (r *Replica) detectFaults(st *vcState) {
 				}
 				skInOld := InGroup(r.n, r.t, iPrime, sk)
 				_ = group
-				pe := prepEntryAt(m, sn)
+				pe := prepIdx[mi][sn]
 				switch {
 				case skInOld && pe == nil:
 					// state-loss (line 3): sk served in sg_i' where this

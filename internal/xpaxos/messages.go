@@ -20,6 +20,16 @@ type Request struct {
 	TS     uint64
 	Client smr.NodeID
 	Sig    crypto.Signature
+
+	// digest memoizes Digest. Requests are immutable once built, and a
+	// view change re-hashes the same requests once per hauled entry per
+	// message per replica — at scale that recomputation dominated whole
+	// campaign runs. The fill is idempotent (any writer computes the
+	// same bytes), and cross-goroutine publication of entries under the
+	// live runtime's async crypto goes through the Async completion,
+	// which orders the write before event-loop readers.
+	digest    crypto.Digest
+	digestSet bool
 }
 
 // SigPayload returns the bytes the client signs.
@@ -36,10 +46,14 @@ func (r *Request) appendSigPayload(w *wire.Buf) []byte {
 // Digest returns the request digest D(req) (covers the signature so a
 // request is bound to its authentication).
 func (r *Request) Digest() crypto.Digest {
+	if r.digestSet {
+		return r.digest
+	}
 	w := wire.Get()
-	d := crypto.HashParts([]byte("xp-reqd"), r.appendSigPayload(w), r.Sig)
+	r.digest = crypto.HashParts([]byte("xp-reqd"), r.appendSigPayload(w), r.Sig)
 	wire.Put(w)
-	return d
+	r.digestSet = true
+	return r.digest
 }
 
 // wireSize is the request's modeled on-the-wire contribution.
@@ -49,17 +63,27 @@ func (r *Request) wireSize() int { return len(r.Op) + 8 + 8 + len(r.Sig) + 8 }
 // (Section 4.5: batching, B = 20).
 type Batch struct {
 	Reqs []Request
+
+	// digest memoizes Digest; see Request.digest for the rationale and
+	// the publication argument. Batches are immutable once proposed.
+	digest    crypto.Digest
+	digestSet bool
 }
 
 // Digest returns the batch digest: the hash of its requests' digests.
 func (b *Batch) Digest() crypto.Digest {
+	if b.digestSet {
+		return b.digest
+	}
 	parts := make([][]byte, 0, len(b.Reqs)+1)
 	parts = append(parts, []byte("xp-batch"))
 	for i := range b.Reqs {
 		d := b.Reqs[i].Digest()
 		parts = append(parts, d[:])
 	}
-	return crypto.HashParts(parts...)
+	b.digest = crypto.HashParts(parts...)
+	b.digestSet = true
+	return b.digest
 }
 
 func (b *Batch) wireSize() int {

@@ -35,7 +35,24 @@ type watchState struct {
 	// re-arms instead, giving the new synchronous group a full timeout
 	// to make progress.
 	view smr.View
+	// ex records the replica's execution mark at (re)arm time. An
+	// expiry while execution has advanced past it means the group is
+	// draining a backlog, not stalled: the watch re-arms instead of
+	// suspecting, up to maxWatchGraces times. Without the grace, a
+	// large client population makes every view change metastable — the
+	// new group can never clear the accumulated requests within one
+	// timeout, watches expire, the view is suspected, and the cycle
+	// repeats. The cap keeps censorship detectable: a primary that
+	// commits everyone else's requests but starves this one still gets
+	// suspected after a bounded number of graces.
+	ex smr.SeqNum
+	// graces counts progress-based re-arms.
+	graces int
 }
+
+// maxWatchGraces bounds how many times a watch defers to execution
+// progress before suspecting the view anyway.
+const maxWatchGraces = 8
 
 // cachedReply remembers the last reply sent to a client, for
 // at-most-once execution and retransmission.
@@ -85,6 +102,11 @@ type Replica struct {
 	// verifyPool scatters independent signature verifications (batch
 	// requests, certificates) across workers; nil verifies serially.
 	verifyPool *crypto.Pool
+
+	// ceCache memoizes verifyCommitEntry verdicts by content digest:
+	// every view-change message re-hauls the unstable commit-log tail,
+	// so churny view changes re-verify the same entries many times.
+	ceCache map[crypto.Digest]bool
 
 	// Async crypto pipeline (on unless cfg.DisableAsyncCrypto). The
 	// hot-path handlers split into a dispatch half that submits
@@ -157,6 +179,12 @@ type Replica struct {
 	futureVC     map[smr.View]map[smr.NodeID]*MsgViewChange
 	futureFinal  map[smr.View]map[smr.NodeID]*MsgVCFinal
 	futureNV     map[smr.View]*MsgNewView
+	// vcConsec counts view changes entered since the last fresh batch
+	// execution. Each consecutive unproductive view change doubles
+	// timer_vc (capped), so a run of bad luck with the group rotation —
+	// or a backlog too deep to clear in one timeout — converges instead
+	// of churning through views at the minimum period forever.
+	vcConsec int
 
 	// Fault detection (fd.go).
 	preView     smr.View
@@ -239,6 +267,7 @@ func NewReplica(id smr.NodeID, cfg Config, app smr.Application) *Replica {
 		prechkVotes:        make(map[smr.SeqNum]map[smr.NodeID]crypto.Digest),
 		chkptVotes:         make(map[smr.SeqNum]map[smr.NodeID]ChkptRecord),
 		seenSuspects:       make(map[suspectKey]bool),
+		ceCache:            make(map[crypto.Digest]bool),
 		futureVC:           make(map[smr.View]map[smr.NodeID]*MsgViewChange),
 		futureFinal:        make(map[smr.View]map[smr.NodeID]*MsgVCFinal),
 		futureNV:           make(map[smr.View]*MsgNewView),
@@ -337,17 +366,34 @@ func (r *Replica) onPeerDown(e smr.PeerDown) {
 // suspectDownGroupMembers suspects the current view if a synchronous
 // group member is already known dead — called when a view installs,
 // so the rotation skips past doomed groups at gossip speed instead of
-// burning a full view-change timeout rediscovering the same fault.
-func (r *Replica) suspectDownGroupMembers() {
+// burning a full view-change timeout rediscovering the same fault. It
+// reports whether it suspected.
+//
+// Viability guard: with more than t peers down, every C(n, t+1) group
+// contains one, so skipping is futile — the cascade would spin through
+// view numbers at gossip speed for as long as the outage lasts.
+// Suspend proactive suspicion instead and let timers rediscover the
+// fault once enough peers answer probes again.
+func (r *Replica) suspectDownGroupMembers() bool {
 	if r.cfg.DisableProactiveSuspect || !r.isActive() {
-		return
+		return false
+	}
+	down := 0
+	for id, d := range r.downPeers {
+		if d && !id.IsClient() {
+			down++
+		}
+	}
+	if down > r.t {
+		return false
 	}
 	for _, id := range r.group {
 		if id != r.id && r.downPeers[id] {
 			r.suspect(r.view)
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // goCrypto runs work off the event loop through the runtime's async
@@ -1152,6 +1198,7 @@ func (r *Replica) sendReplies(entry *CommitEntry, sn smr.SeqNum, tss []uint64, r
 // whose timestamp was already executed return the cached reply
 // (deterministic across replicas).
 func (r *Replica) applyBatch(b *Batch, sn smr.SeqNum, v smr.View) (tss []uint64, reps [][]byte) {
+	r.vcConsec = 0 // fresh execution: the current view is productive
 	tss = make([]uint64, len(b.Reqs))
 	reps = make([][]byte, len(b.Reqs))
 	for i := range b.Reqs {
@@ -1254,6 +1301,7 @@ func (r *Replica) notifyCommit(e *CommitEntry) {
 		r.cfg.Observer(smr.Committed{
 			Replica: r.id, View: e.View(), Seq: e.SN(),
 			Digest: req.Digest(), Client: req.Client, ClientTS: req.TS,
+			First: i == 0,
 		})
 	}
 }
@@ -1310,14 +1358,46 @@ func (r *Replica) verifyCommitEntry(e *CommitEntry) bool {
 		}
 		seen[o.From] = true
 	}
-	// Structure is sound; check the t+1 signatures concurrently.
+	// Structure is sound. The same entries recur across consecutive
+	// view changes (every view-change message re-hauls the unstable
+	// tail), so memoize the signature verdict by a digest over the
+	// authenticated content: the t+1 signatures cover every field the
+	// structural checks above did not already pin down, so two entries
+	// with equal keys carry identical, equally-valid evidence.
+	key := commitEntryKey(e)
+	if verdict, ok := r.ceCache[key]; ok {
+		return verdict
+	}
 	b := newSigBatch(r.t + 1)
 	b.add(crypto.NodeID(e.Primary.From), e.Primary.Sig, e.Primary.appendSigPayload)
 	for i := range e.Commits {
 		o := &e.Commits[i]
 		b.add(crypto.NodeID(o.From), o.Sig, o.appendSigPayload)
 	}
-	return b.verifyAll(r.verifyPool, r.suite)
+	ok := b.verifyAll(r.verifyPool, r.suite)
+	if len(r.ceCache) >= ceCacheMax {
+		r.ceCache = make(map[crypto.Digest]bool, ceCacheMax/4)
+	}
+	r.ceCache[key] = ok
+	return ok
+}
+
+// ceCacheMax bounds the commit-entry verification cache.
+const ceCacheMax = 1 << 13
+
+// commitEntryKey digests a commit entry's authenticated content for
+// the verification cache.
+func commitEntryKey(e *CommitEntry) crypto.Digest {
+	w := wire.Get()
+	w.U64(uint64(e.Primary.SN)).U64(uint64(e.Primary.View)).I64(int64(e.Primary.From))
+	w.Bytes(e.Primary.BatchD[:]).Bytes(e.Primary.RepRoot[:]).Bytes(e.Primary.Sig)
+	for i := range e.Commits {
+		o := &e.Commits[i]
+		w.I64(int64(o.From)).Bytes(o.RepRoot[:]).Bytes(o.Sig)
+	}
+	d := crypto.Hash(w.Done())
+	wire.Put(w)
+	return d
 }
 
 // ---------------------------------------------------------------------------
@@ -1335,7 +1415,7 @@ func (r *Replica) onResend(from smr.NodeID, req Request) {
 	key := watchKey{Client: req.Client, TS: req.TS}
 	w, exists := r.watches[key]
 	if !exists {
-		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view}
+		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view, ex: r.ex}
 		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
 		r.watches[key] = w
 		r.watchTimers[w.timer] = key
@@ -1429,7 +1509,7 @@ func (r *Replica) applyReplySign(rs ReplySig) {
 	key := watchKey{Client: rs.Client, TS: rs.TS}
 	w, ok := r.watches[key]
 	if !ok {
-		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view}
+		w = &watchState{key: key, sigs: make(map[smr.NodeID]ReplySig), view: r.view, ex: r.ex}
 		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
 		r.watches[key] = w
 		r.watchTimers[w.timer] = key
@@ -1508,6 +1588,17 @@ func (r *Replica) onWatchExpired(key watchKey) {
 	}
 	if w.view < r.view || r.status == statusViewChange {
 		w.view = r.view
+		w.ex = r.ex
+		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
+		r.watchTimers[w.timer] = key
+		return
+	}
+	if r.ex > w.ex && w.graces < maxWatchGraces {
+		// The group is executing — the request is queued behind a
+		// backlog, not lost. Grant another timeout instead of tearing
+		// the view down (see watchState.ex).
+		w.ex = r.ex
+		w.graces++
 		w.timer = r.env.SetTimer(r.cfg.RequestTimeout, "watch")
 		r.watchTimers[w.timer] = key
 		return

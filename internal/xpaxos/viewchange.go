@@ -159,7 +159,12 @@ func (r *Replica) enterView(nv smr.View) {
 		union:  make(map[vcKey]*MsgViewChange),
 	}
 	st.netTimer = r.env.SetTimer(2*r.cfg.Delta, "vc-net")
-	st.vcTimer = r.env.SetTimer(r.cfg.ViewChangeTimeout, "vc")
+	r.vcConsec++
+	boff := r.vcConsec - 1
+	if boff > 4 {
+		boff = 4
+	}
+	st.vcTimer = r.env.SetTimer(r.cfg.ViewChangeTimeout<<boff, "vc")
 	r.vcState = st
 
 	// Process our own view-change message and any buffered ones.

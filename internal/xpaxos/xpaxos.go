@@ -28,6 +28,7 @@ package xpaxos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/xft-consensus/xft/internal/crypto"
@@ -200,13 +201,45 @@ func binomial(n, k int) int {
 //	view 0: (s0,s1) primary s0 | view 1: (s0,s2) primary s0 |
 //	view 2: (s1,s2) primary s1 | then wrapping around.
 func SyncGroup(n, t int, v smr.View) []smr.NodeID {
-	combos := combinations(n, t+1)
+	combos := cachedCombinations(n, t+1)
 	c := combos[int(v)%len(combos)]
 	out := make([]smr.NodeID, len(c))
 	for i, x := range c {
 		out[i] = smr.NodeID(x)
 	}
 	return out
+}
+
+// comboCache memoizes combinations(n, k) per (n, k). SyncGroup sits on
+// the hot path of every replica and client (message routing, quorum
+// membership), and re-enumerating all C(n, t+1) groups per call is
+// quadratic pain at campaign scale — n = 13 yields 1716 groups, which
+// used to be rebuilt for every single message. The cache is append-only
+// and guarded for the live runtime's concurrent nodes; the entries
+// themselves are never mutated after insertion.
+var comboCache struct {
+	sync.RWMutex
+	m map[[2]int][][]int
+}
+
+func cachedCombinations(n, k int) [][]int {
+	key := [2]int{n, k}
+	comboCache.RLock()
+	c, ok := comboCache.m[key]
+	comboCache.RUnlock()
+	if ok {
+		return c
+	}
+	comboCache.Lock()
+	defer comboCache.Unlock()
+	if comboCache.m == nil {
+		comboCache.m = make(map[[2]int][][]int)
+	}
+	if c, ok = comboCache.m[key]; !ok {
+		c = combinations(n, k)
+		comboCache.m[key] = c
+	}
+	return c
 }
 
 // Passive returns the replicas of view v that are not active.

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Replay a failed nightly soak campaign locally, byte-for-byte.
+#
+# The nightly soak matrix runs `xft-bench campaign` with a
+# date-derived seed; when an invariant breaks, the job uploads an
+# artifact bundle (seed.txt, repro.txt, trace.txt) and the log ends
+# with a one-line repro. This script is the short way to run that
+# repro: campaigns are deterministic in virtual time, so the same
+# profile + seed reproduces the identical schedule, trace and verdict
+# on any machine.
+#
+# Artifacts land in ./soak-repro-<profile>-<seed>/ for diffing against
+# the bundle the red run uploaded.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  cat >&2 <<'EOF'
+usage: scripts/soak-repro.sh <profile> <seed> [extra xft-bench campaign flags]
+
+  profile   crash-storm | rolling-partition | byzantine-mix | kitchen-sink
+  seed      the campaign seed from the failed run (seed.txt, or the
+            "seed: N" line at the end of the job log)
+
+Examples:
+  scripts/soak-repro.sh byzantine-mix 20260808
+  scripts/soak-repro.sh kitchen-sink 20260808 -inject-fork -v
+
+Any extra flags are passed through to `xft-bench campaign`; if the red
+run's repro.txt overrode -t / -clients / -horizon / -app, pass the same
+values here to reproduce it exactly.
+EOF
+  exit 2
+fi
+
+profile="$1"
+seed="$2"
+shift 2
+
+cd "$(dirname "$0")/.."
+outdir="soak-repro-${profile}-${seed}"
+
+exec go run ./cmd/xft-bench campaign \
+  -profile "$profile" -seed "$seed" -artifact-dir "$outdir" "$@"
