@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/netsim"
+	"github.com/xft-consensus/xft/internal/shard"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/xpaxos"
+)
+
+// Sharded-saturation experiment parameters. Three machines host every
+// group (n = 2t+1 = 3 replicas per group, replica i of each group on
+// machine i), so machine 0 is the view-0 primary of all groups — the
+// worst case for the shared plane: one Step loop, one sign unit and
+// one verify unit carry every group's primary work.
+const (
+	shardedClientsPerGroup = 6
+	shardedValueSize       = 128
+)
+
+// ShardedGroupCounts is the sweep's x-axis.
+var ShardedGroupCounts = []int{1, 2, 4, 8}
+
+// ShardPoint is one measurement of the sharded-saturation sweep.
+type ShardPoint struct {
+	Groups         int
+	ThroughputKops float64 // aggregate across all groups
+	LatencyMs      float64
+	// PrimaryCPU is machine 0's busy fraction (it is primary of every
+	// group, so it saturates first).
+	PrimaryCPU float64
+}
+
+// ShardedSaturation measures aggregate XPaxos throughput as one
+// process-set hosts 1, 2, 4 and 8 replication groups over a shared
+// plane: each simulated machine runs all of its groups' replicas
+// behind one smr.GroupMux with a single crypto meter (the shared
+// sign/verify units), and each client machine runs a shard.Router
+// whose per-group clients drive a fixed closed loop against keys the
+// consistent-hash ring pins to their group.
+//
+// The single-group configuration is deliberately latency-bound, not
+// capacity-bound: a handful of closed-loop clients per group and the
+// modern cost model (full per-op constants, 8-lane sign and verify
+// units) leave each group's batch pipeline dominated by its serial
+// chain — client hop, batch signature, follower hop, ack signature,
+// reply — while the machine's crypto lanes sit mostly idle. Adding
+// groups multiplies the number of independent serial chains sharing
+// those lanes, so aggregate throughput scales near-linearly until the
+// shared units saturate. That scaling is the experiment's product:
+// CI gates 4 groups at >= 2.5x the single-group number.
+func ShardedSaturation(w io.Writer, sc Scale) []ShardPoint {
+	fmt.Fprintf(w, "XPaxos sharded saturation: 3 co-located machines, %d closed-loop clients per group, modern cost model (%d sign/verify lanes)\n",
+		shardedClientsPerGroup, cores)
+	fmt.Fprintf(w, "%-8s %-18s %-12s %-10s %-8s\n", "groups", "throughput(kops/s)", "latency(ms)", "cpu(%)", "scaling")
+	points := make([]ShardPoint, 0, len(ShardedGroupCounts))
+	var base float64
+	for _, g := range ShardedGroupCounts {
+		p := runShardedPoint(g, sc)
+		points = append(points, p)
+		if g == 1 {
+			base = p.ThroughputKops
+		}
+		scaling := 0.0
+		if base > 0 {
+			scaling = p.ThroughputKops / base
+		}
+		fmt.Fprintf(w, "%-8d %-18.2f %-12.1f %-10.1f %.2fx\n",
+			p.Groups, p.ThroughputKops, p.LatencyMs, p.PrimaryCPU*100, scaling)
+	}
+	return points
+}
+
+// runShardedPoint builds and drives one group-count configuration.
+func runShardedPoint(groups int, sc Scale) ShardPoint {
+	const n, tf = 3, 1
+	seed := int64(21 + groups)
+	cm := crypto.CostModelModern(cores)
+	net := netsim.New(netsim.Config{
+		// Co-located placement: a datacenter hop, not the WAN. The
+		// point must be latency-bound per group but cheap enough that
+		// crypto (not propagation) is what eventually saturates.
+		Latency:     netsim.Uniform{Delay: 500 * time.Microsecond},
+		CostModel:   cm,
+		SignLanes:   cores,
+		VerifyLanes: cores,
+		Seed:        seed,
+	})
+	suite := crypto.NewSimSuite(seed + 1)
+
+	// Machines: one GroupMux per machine hosting replica i of every
+	// group, all sharing one crypto meter — the machine's crypto plane.
+	for i := 0; i < n; i++ {
+		mux := smr.NewGroupMux()
+		meter := crypto.NewMeter(suite)
+		for g := 0; g < groups; g++ {
+			cfg := xpaxos.Config{
+				N: n, T: tf, Suite: meter,
+				Delta:              50 * time.Millisecond,
+				BatchSize:          shardedClientsPerGroup,
+				BatchTimeout:       time.Millisecond,
+				RequestTimeout:     2 * time.Second,
+				ViewChangeTimeout:  4 * time.Second,
+				CheckpointInterval: 32,
+			}
+			mux.MustRegister(smr.GroupID(g), xpaxos.NewReplica(smr.NodeID(i), cfg, kv.NewStore()))
+		}
+		net.AddNode(smr.NodeID(i), mux, netsim.WithMeter(meter))
+	}
+
+	groupIDs := make([]smr.GroupID, groups)
+	for g := range groupIDs {
+		groupIDs[g] = smr.GroupID(g)
+	}
+	ring, err := shard.NewRing(groupIDs, 0)
+	if err != nil {
+		panic(err)
+	}
+	// Pin one key per (client machine, group) via rejection sampling
+	// through the ring, so every client's closed loop stays on its
+	// shard and the routing decision is exercised on every op.
+	keyFor := func(g smr.GroupID, ci int) string {
+		for v := 0; ; v++ {
+			k := fmt.Sprintf("g%d-c%d-%d", g, ci, v)
+			if ring.Group(k) == g {
+				return k
+			}
+		}
+	}
+
+	var (
+		committed uint64
+		latSum    time.Duration
+	)
+	winStart, winEnd := sc.warmup(), sc.warmup()+sc.measure()
+	value := make([]byte, shardedValueSize)
+
+	// Client machines: each hosts one Router (one XPaxos client per
+	// group over the router's own GroupMux). Every (machine, group)
+	// pair runs an independent window-1 closed loop.
+	routers := make([]*shard.Router, shardedClientsPerGroup)
+	for ci := 0; ci < shardedClientsPerGroup; ci++ {
+		ci := ci
+		id := smr.ClientIDBase + smr.NodeID(ci)
+		router, err := shard.NewRouter(ring, func(g smr.GroupID) (*xpaxos.Client, error) {
+			op := kv.PutOp(keyFor(g, ci), value)
+			return xpaxos.NewClient(id, xpaxos.ClientConfig{
+				N: n, T: tf, Suite: crypto.NewMeter(suite),
+				RequestTimeout: 2 * time.Second,
+				OnCommit: func(_, _ []byte, lat time.Duration) {
+					now := net.Now()
+					if now >= winStart && now < winEnd {
+						committed++
+						latSum += lat
+					}
+					routers[ci].Invoke(op)
+				},
+			})
+		})
+		if err != nil {
+			panic(err)
+		}
+		routers[ci] = router
+		net.AddNode(id, router)
+	}
+	net.At(0, func() {
+		for ci, router := range routers {
+			for _, g := range groupIDs {
+				router.Invoke(kv.PutOp(keyFor(g, ci), value))
+			}
+		}
+	})
+
+	var busyStart, busyEnd time.Duration
+	net.At(winStart, func() { busyStart = net.Stats(0).CPUBusy })
+	net.At(winEnd, func() { busyEnd = net.Stats(0).CPUBusy })
+	net.RunUntil(winEnd + 10*time.Millisecond)
+
+	p := ShardPoint{Groups: groups}
+	p.ThroughputKops = float64(committed) / sc.measure().Seconds() / 1000
+	if committed > 0 {
+		p.LatencyMs = float64(latSum.Milliseconds()) / float64(committed)
+	}
+	p.PrimaryCPU = float64(busyEnd-busyStart) / float64(sc.measure())
+	return p
+}

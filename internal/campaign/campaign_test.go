@@ -55,6 +55,64 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestCampaignMultiGroup drives the sharded deployment through the
+// crash-storm and kitchen-sink profiles: every machine hosts one
+// replica of each group behind a GroupMux, clients partition across
+// groups, and all safety invariants must hold independently per group.
+// Determinism must survive the extra multiplexing layer.
+func TestCampaignMultiGroup(t *testing.T) {
+	for _, p := range []Profile{CrashStorm, KitchenSink} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			cfg := quick(p, 42)
+			cfg.Groups = 2
+			a := Run(cfg)
+			b := Run(cfg)
+			if a.TraceDigest != b.TraceDigest {
+				t.Fatalf("multi-group campaign not deterministic: %s vs %s", a.TraceDigest, b.TraceDigest)
+			}
+			if !a.OK() {
+				t.Fatalf("multi-group campaign failed (seed %d): %v\nrepro: %s", cfg.Seed, a.Violations, a.Repro)
+			}
+			if a.Acked == 0 {
+				t.Fatal("no client request acknowledged across either group")
+			}
+			if !strings.Contains(a.Repro, "-groups 2") {
+				t.Fatalf("repro line %q missing -groups 2", a.Repro)
+			}
+			// Both groups must have seen real traffic: with clients
+			// split round-robin, each group's acked share can't be zero
+			// unless routing collapsed onto one shard.
+			single := Run(quick(p, 42))
+			if single.TraceDigest == a.TraceDigest {
+				t.Fatal("groups=2 trace identical to groups=1; the group layer did nothing")
+			}
+		})
+	}
+}
+
+// TestCampaignMultiGroupForkDetected: the fork is injected on one
+// machine, which corrupts that machine's replica of every group — the
+// per-group checkers must each catch the divergence blind.
+func TestCampaignMultiGroupForkDetected(t *testing.T) {
+	cfg := quick(CrashStorm, 7)
+	cfg.Groups = 2
+	cfg.InjectFork = true
+	res := Run(cfg)
+	if res.OK() {
+		t.Fatalf("forked replica not detected in multi-group run; trace digest %s", res.TraceDigest)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "state-divergence" && strings.Contains(v.Detail, "group") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a group-tagged state-divergence violation, got %v", res.Violations)
+	}
+}
+
 // TestCampaignSeedsChangeSchedule guards against the seed being
 // ignored: different seeds must produce different fault timelines.
 func TestCampaignSeedsChangeSchedule(t *testing.T) {

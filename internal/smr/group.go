@@ -1,0 +1,249 @@
+package smr
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// GroupID identifies one replication-group instance when several
+// independent groups (shards) share a single process. Group IDs are
+// local configuration — every node hosting a shard of group g registers
+// it under the same ID — and travel on the wire inside GroupMessage so
+// one transport connection, crypto pool, and WAL can serve all groups.
+type GroupID uint32
+
+// GroupMessage wraps a protocol message with the group it belongs to.
+// The multiplexer (GroupMux) wraps every outgoing message and unwraps
+// incoming ones, so per-group protocol code stays completely unaware of
+// sharding. Transports encode the group ID in the frame header
+// (transport.FrameGroupMsg); the simulator delivers the wrapper as-is.
+type GroupMessage struct {
+	Group GroupID
+	Msg   Message
+}
+
+// Type implements Message; the wrapper is transparent in metrics and
+// traces, so per-message-type counts stay comparable across sharded and
+// unsharded runs.
+func (m *GroupMessage) Type() string { return m.Msg.Type() }
+
+// WireSize implements Message: the inner size plus the 4-byte group ID.
+func (m *GroupMessage) WireSize() int { return m.Msg.WireSize() + 4 }
+
+// Bulk implements BulkMessage by passing the inner classification
+// through, so bounded send queues shed a group's lazy traffic before
+// any group's critical traffic.
+func (m *GroupMessage) Bulk() bool { return IsBulk(m.Msg) }
+
+// Retransmit implements RetransmitMessage by delegation, so intake rate
+// limiting keeps prioritizing retransmissions across group boundaries.
+func (m *GroupMessage) Retransmit() bool { return IsRetransmit(m.Msg) }
+
+// GroupStats is a snapshot of a GroupMux's routing health. Misrouted
+// traffic is counted, never silently dropped: a non-zero UnknownGroup
+// means a peer is configured with a group this node does not host (or a
+// frame was corrupted), and Ungrouped means an unsharded peer is
+// talking to a sharded node.
+type GroupStats struct {
+	// Groups is the number of registered group instances.
+	Groups int
+	// UnknownGroup counts messages naming an unregistered GroupID.
+	UnknownGroup uint64
+	// Ungrouped counts bare (non-GroupMessage) messages delivered to
+	// the mux.
+	Ungrouped uint64
+}
+
+// GroupStatsReporter is implemented by nodes that can report group
+// routing statistics (GroupMux, and wrappers that embed one).
+// Transports use it to surface the counters through their own Stats.
+type GroupStatsReporter interface {
+	GroupStats() GroupStats
+}
+
+// GroupMux multiplexes several independent protocol instances — one
+// per GroupID — behind a single Node, so one runtime slot (one
+// simulator node, one transport endpoint, one event loop) hosts many
+// replication groups over shared infrastructure:
+//
+//   - outgoing messages are wrapped in GroupMessage and share the
+//     process-wide connections, send queues, and frame codec;
+//   - incoming GroupMessages route to the owning instance's Step;
+//   - timers are tracked per group, so TimerFired events route back to
+//     whichever instance set them;
+//   - Defer passes through unchanged: deferred crypto from all groups
+//     lands in the same sign/verify lanes (the shared pool), and
+//     durable-kind jobs in the same disk queue — which is exactly the
+//     shared-plane contention the sharded benchmarks measure;
+//   - connection-health events (PeerDown/PeerUp) fan out to every
+//     group, since all groups share the peer's physical channel.
+//
+// All methods must be called from the node's event context (the same
+// discipline every Node already follows); the stats counters are
+// atomic so runtimes may snapshot them from other goroutines.
+type GroupMux struct {
+	env     Env
+	started bool
+	groups  map[GroupID]Node
+	order   []GroupID // ascending; deterministic fan-out order
+	// timerOwner routes TimerFired events: timer IDs are unique per
+	// underlying node, so one map serves every group.
+	timerOwner map[TimerID]GroupID
+
+	unknownGroup atomic.Uint64
+	ungrouped    atomic.Uint64
+}
+
+// NewGroupMux returns an empty multiplexer; register instances with
+// Register before (or after) the runtime starts it.
+func NewGroupMux() *GroupMux {
+	return &GroupMux{
+		groups:     make(map[GroupID]Node),
+		timerOwner: make(map[TimerID]GroupID),
+	}
+}
+
+// Register adds a protocol instance under g. Registering the same
+// GroupID twice is a configuration error and is rejected loudly — the
+// second instance would silently steal the first one's traffic.
+// Instances registered after the runtime has started are initialized
+// (and started) immediately.
+func (m *GroupMux) Register(g GroupID, node Node) error {
+	if _, dup := m.groups[g]; dup {
+		return fmt.Errorf("smr: group %d already registered", g)
+	}
+	m.groups[g] = node
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= g })
+	m.order = append(m.order, 0)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = g
+	if m.env != nil {
+		node.Init(&groupEnv{mux: m, g: g})
+		if m.started {
+			node.Step(Start{})
+		}
+	}
+	return nil
+}
+
+// MustRegister is Register for static configurations that cannot
+// legitimately collide (tests, benchmark builders).
+func (m *GroupMux) MustRegister(g GroupID, node Node) {
+	if err := m.Register(g, node); err != nil {
+		panic(err)
+	}
+}
+
+// Group returns the instance registered under g.
+func (m *GroupMux) Group(g GroupID) (Node, bool) {
+	n, ok := m.groups[g]
+	return n, ok
+}
+
+// Groups returns the registered group IDs in ascending order.
+func (m *GroupMux) Groups() []GroupID {
+	out := make([]GroupID, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// GroupStats implements GroupStatsReporter.
+func (m *GroupMux) GroupStats() GroupStats {
+	return GroupStats{
+		Groups:       len(m.order),
+		UnknownGroup: m.unknownGroup.Load(),
+		Ungrouped:    m.ungrouped.Load(),
+	}
+}
+
+// Init implements Node: every registered instance is initialized with a
+// group-scoped view of the shared environment.
+func (m *GroupMux) Init(env Env) {
+	m.env = env
+	for _, g := range m.order {
+		m.groups[g].Init(&groupEnv{mux: m, g: g})
+	}
+}
+
+// Step implements Node, routing each event to the instance(s) it
+// concerns.
+func (m *GroupMux) Step(ev Event) {
+	switch e := ev.(type) {
+	case Start:
+		m.started = true
+		for _, g := range m.order {
+			m.groups[g].Step(Start{})
+		}
+	case Recv:
+		gm, ok := e.Msg.(*GroupMessage)
+		if !ok {
+			m.ungrouped.Add(1)
+			return
+		}
+		node, ok := m.groups[gm.Group]
+		if !ok {
+			m.unknownGroup.Add(1)
+			return
+		}
+		node.Step(Recv{From: e.From, Msg: gm.Msg})
+	case TimerFired:
+		g, ok := m.timerOwner[e.ID]
+		if !ok {
+			return // cancelled after firing was queued, or not ours
+		}
+		delete(m.timerOwner, e.ID)
+		m.groups[g].Step(ev)
+	case Async:
+		// Apply closures capture their own instance's state; no routing
+		// needed.
+		e.Apply()
+	case PeerDown, PeerUp:
+		// Health is per physical channel: every group shares it.
+		for _, g := range m.order {
+			m.groups[g].Step(ev)
+		}
+	case Invoke:
+		// A bare mux has no key→group policy; hosts that accept Invoke
+		// (the shard router) intercept it before delegating here.
+		m.ungrouped.Add(1)
+	}
+}
+
+// groupEnv is the per-group view of the shared environment: sends are
+// wrapped with the group ID and timers are recorded for routing;
+// everything else passes straight through to the shared plane.
+type groupEnv struct {
+	mux *GroupMux
+	g   GroupID
+}
+
+func (e *groupEnv) ID() NodeID         { return e.mux.env.ID() }
+func (e *groupEnv) Now() time.Duration { return e.mux.env.Now() }
+
+func (e *groupEnv) Send(to NodeID, m Message) {
+	e.mux.env.Send(to, &GroupMessage{Group: e.g, Msg: m})
+}
+
+func (e *groupEnv) SetTimer(d time.Duration, kind string) TimerID {
+	id := e.mux.env.SetTimer(d, kind)
+	e.mux.timerOwner[id] = e.g
+	return id
+}
+
+func (e *groupEnv) CancelTimer(id TimerID) {
+	delete(e.mux.timerOwner, id)
+	e.mux.env.CancelTimer(id)
+}
+
+func (e *groupEnv) Defer(kind string, work func(), apply func()) {
+	e.mux.env.Defer(kind, work, apply)
+}
+
+var (
+	_ Node               = (*GroupMux)(nil)
+	_ GroupStatsReporter = (*GroupMux)(nil)
+	_ BulkMessage        = (*GroupMessage)(nil)
+	_ RetransmitMessage  = (*GroupMessage)(nil)
+)

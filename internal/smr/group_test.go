@@ -1,0 +1,202 @@
+package smr_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// sentMsg is one Send recorded by recordEnv.
+type sentMsg struct {
+	to smr.NodeID
+	m  smr.Message
+}
+
+// recordEnv is a scripted smr.Env for driving a GroupMux directly.
+type recordEnv struct {
+	id      smr.NodeID
+	sends   []sentMsg
+	nextID  smr.TimerID
+	cancels []smr.TimerID
+}
+
+func (e *recordEnv) ID() smr.NodeID     { return e.id }
+func (e *recordEnv) Now() time.Duration { return 0 }
+func (e *recordEnv) Send(to smr.NodeID, m smr.Message) {
+	e.sends = append(e.sends, sentMsg{to, m})
+}
+func (e *recordEnv) SetTimer(d time.Duration, kind string) smr.TimerID {
+	e.nextID++
+	return e.nextID
+}
+func (e *recordEnv) CancelTimer(id smr.TimerID) { e.cancels = append(e.cancels, id) }
+func (e *recordEnv) Defer(kind string, work func(), apply func()) {
+	work()
+	apply()
+}
+
+func TestGroupMuxRejectsDuplicateRegistration(t *testing.T) {
+	mux := smr.NewGroupMux()
+	if err := mux.Register(3, &probe{}); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := mux.Register(3, &probe{}); err == nil {
+		t.Fatal("duplicate Register accepted; the second instance would steal the first one's traffic")
+	}
+	if err := mux.Register(4, &probe{}); err != nil {
+		t.Fatalf("Register after rejected duplicate: %v", err)
+	}
+	if got := mux.GroupStats().Groups; got != 2 {
+		t.Fatalf("Groups = %d, want 2", got)
+	}
+}
+
+func TestGroupMuxRoutesRecvByGroup(t *testing.T) {
+	mux := smr.NewGroupMux()
+	a, b := &probe{}, &probe{}
+	mux.MustRegister(1, a)
+	mux.MustRegister(2, b)
+	mux.Init(&recordEnv{id: 7})
+	mux.Step(smr.Start{})
+
+	mux.Step(smr.Recv{From: 0, Msg: &smr.GroupMessage{Group: 2, Msg: testMsg{"for-b"}}})
+	mux.Step(smr.Recv{From: 0, Msg: &smr.GroupMessage{Group: 1, Msg: testMsg{"for-a"}}})
+	// Unknown group and bare (ungrouped) messages are counted, not
+	// silently dropped.
+	mux.Step(smr.Recv{From: 0, Msg: &smr.GroupMessage{Group: 9, Msg: testMsg{"lost"}}})
+	mux.Step(smr.Recv{From: 0, Msg: testMsg{"bare"}})
+
+	for name, tc := range map[string]struct {
+		p    *probe
+		want string
+	}{"group1": {a, "for-a"}, "group2": {b, "for-b"}} {
+		evs := tc.p.snapshot()
+		if len(evs) != 2 { // Start + one Recv
+			t.Fatalf("%s: %d events, want 2 (Start+Recv)", name, len(evs))
+		}
+		rc, ok := evs[1].(smr.Recv)
+		if !ok {
+			t.Fatalf("%s: event[1] = %T, want Recv", name, evs[1])
+		}
+		if got := rc.Msg.(testMsg).payload; got != tc.want {
+			t.Fatalf("%s received %q, want %q (unwrapped)", name, got, tc.want)
+		}
+	}
+	st := mux.GroupStats()
+	if st.UnknownGroup != 1 || st.Ungrouped != 1 {
+		t.Fatalf("stats = %+v, want UnknownGroup=1 Ungrouped=1", st)
+	}
+}
+
+func TestGroupMuxWrapsOutboundSends(t *testing.T) {
+	env := &recordEnv{id: 7}
+	mux := smr.NewGroupMux()
+	p := &probe{}
+	p.onStep = func(e smr.Env, ev smr.Event) {
+		if _, ok := ev.(smr.Start); ok {
+			e.Send(2, testMsg{"hello"})
+		}
+	}
+	mux.MustRegister(5, p)
+	mux.Init(env)
+	mux.Step(smr.Start{})
+
+	if len(env.sends) != 1 {
+		t.Fatalf("%d sends, want 1", len(env.sends))
+	}
+	gm, ok := env.sends[0].m.(*smr.GroupMessage)
+	if !ok {
+		t.Fatalf("outbound message = %T, want *GroupMessage", env.sends[0].m)
+	}
+	if gm.Group != 5 || gm.Msg.(testMsg).payload != "hello" {
+		t.Fatalf("wrapped = {Group:%d, Msg:%v}", gm.Group, gm.Msg)
+	}
+	// The wrapper stays transparent for metrics and queue policy.
+	if gm.Type() != "test" || gm.WireSize() != 8+4 {
+		t.Fatalf("wrapper Type/WireSize = %q/%d", gm.Type(), gm.WireSize())
+	}
+}
+
+func TestGroupMuxRoutesTimersToOwner(t *testing.T) {
+	env := &recordEnv{id: 7}
+	mux := smr.NewGroupMux()
+	a, b := &probe{}, &probe{}
+	var timerID smr.TimerID
+	a.onStep = func(e smr.Env, ev smr.Event) {
+		if _, ok := ev.(smr.Start); ok {
+			timerID = e.SetTimer(time.Second, "vc")
+		}
+	}
+	mux.MustRegister(1, a)
+	mux.MustRegister(2, b)
+	mux.Init(env)
+	mux.Step(smr.Start{})
+	mux.Step(smr.TimerFired{ID: timerID, Kind: "vc"})
+	// A second delivery of the same ID (stale after firing) must not
+	// reach anyone.
+	mux.Step(smr.TimerFired{ID: timerID, Kind: "vc"})
+
+	aEvs, bEvs := a.snapshot(), b.snapshot()
+	fired := 0
+	for _, ev := range aEvs {
+		if _, ok := ev.(smr.TimerFired); ok {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("group 1 saw %d TimerFired, want exactly 1", fired)
+	}
+	for _, ev := range bEvs {
+		if _, ok := ev.(smr.TimerFired); ok {
+			t.Fatal("group 2 received group 1's timer")
+		}
+	}
+}
+
+func TestGroupMuxBroadcastsHealthEvents(t *testing.T) {
+	mux := smr.NewGroupMux()
+	a, b := &probe{}, &probe{}
+	mux.MustRegister(1, a)
+	mux.MustRegister(2, b)
+	mux.Init(&recordEnv{id: 7})
+	mux.Step(smr.Start{})
+	mux.Step(smr.PeerDown{Peer: 2, LastSeen: time.Second})
+	mux.Step(smr.PeerUp{Peer: 2, RTT: time.Millisecond})
+
+	for name, p := range map[string]*probe{"group1": a, "group2": b} {
+		var down, up bool
+		for _, ev := range p.snapshot() {
+			switch ev.(type) {
+			case smr.PeerDown:
+				down = true
+			case smr.PeerUp:
+				up = true
+			}
+		}
+		if !down || !up {
+			t.Fatalf("%s: down=%v up=%v, want both (health is per physical channel)", name, down, up)
+		}
+	}
+}
+
+func TestGroupMuxLateRegistrationStarts(t *testing.T) {
+	mux := smr.NewGroupMux()
+	mux.MustRegister(1, &probe{})
+	mux.Init(&recordEnv{id: 7})
+	mux.Step(smr.Start{})
+
+	late := &probe{}
+	mux.MustRegister(2, late)
+	evs := late.snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("late instance saw %d events, want 1 (Start)", len(evs))
+	}
+	if _, ok := evs[0].(smr.Start); !ok {
+		t.Fatalf("late instance event = %T, want Start", evs[0])
+	}
+	mux.Step(smr.Recv{From: 0, Msg: &smr.GroupMessage{Group: 2, Msg: testMsg{"x"}}})
+	if got := mux.GroupStats().UnknownGroup; got != 0 {
+		t.Fatalf("UnknownGroup = %d after late registration, want 0", got)
+	}
+}

@@ -21,11 +21,15 @@ import (
 // Frame kinds. FrameMsg carries a protocol message (sender header +
 // wire codec payload); FramePing and FramePong are the transport's
 // keepalive probes, carrying an opaque 8-byte timestamp that the pong
-// echoes back untouched.
+// echoes back untouched. FrameGroupMsg carries a group-multiplexed
+// protocol message (sender header + 4-byte GroupID + wire codec
+// payload), so N replication groups share one connection; plain
+// FrameMsg frames stay bit-identical to the ungrouped format.
 const (
 	FrameMsg byte = iota
 	FramePing
 	FramePong
+	FrameGroupMsg
 )
 
 // MaxFrameSize bounds a frame payload (16 MiB). A corrupt or hostile

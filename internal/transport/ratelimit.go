@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// Per-source intake rate limiting (ROADMAP: overload protection at the
+// transport edge). A replica under client overload should shed excess
+// load before decoding and signature-verifying it in the protocol —
+// and when it sheds, it must prefer keeping retransmissions: dropping
+// a client's re-sent request (xpaxos MsgResend, Algorithm 4) turns a
+// transient overload into a view change, because the client escalates
+// to suspecting the primary, while dropping a fresh request merely
+// delays one new operation by a retransmission timeout.
+//
+// The limiter is a classic token bucket per client source, with a
+// twist that encodes the retransmission priority: fresh requests may
+// only spend the bucket down to zero, while retransmissions may
+// overdraw it down to -burst. The overdraft band [-burst, 0) is
+// therefore reserved capacity that only retransmissions can consume —
+// under sustained overload fresh traffic is shed first, and a client
+// retrying a stuck request still gets through. Replica-to-replica
+// traffic is never limited: shedding protocol votes or view-change
+// messages would destabilize exactly the machinery that resolves
+// overload.
+
+// maxLimiterSources caps the tracked-source map. Past the cap new
+// sources are admitted unconditionally (fail open): the cap exists to
+// bound memory against client-ID churn, not to act as an admission
+// policy of its own.
+const maxLimiterSources = 4096
+
+// WithIntakeLimit enables per-source intake rate limiting: each client
+// source may deliver perSourcePerSec messages per second sustained,
+// with bursts up to burst messages. When a source exceeds its rate the
+// transport sheds its frames after decode but before delivery to the
+// protocol node, prioritizing retransmissions (smr.IsRetransmit) over
+// fresh load — see the package comments on ratelimit.go. Non-positive
+// values disable the limiter.
+func WithIntakeLimit(perSourcePerSec float64, burst int) Option {
+	return func(nd *Node) {
+		if perSourcePerSec <= 0 || burst <= 0 {
+			return
+		}
+		nd.limiter = &rateLimiter{
+			rate:    perSourcePerSec,
+			burst:   float64(burst),
+			sources: make(map[smr.NodeID]*tokenBucket),
+		}
+	}
+}
+
+// RateLimitStats snapshots the intake limiter's counters.
+type RateLimitStats struct {
+	// Sources is the number of distinct client sources tracked.
+	Sources int
+	// Admitted counts messages that passed the limiter.
+	Admitted uint64
+	// ShedFresh counts fresh (non-retransmission) messages shed.
+	ShedFresh uint64
+	// ShedRetransmit counts retransmissions shed — nonzero only when a
+	// source exhausts even the overdraft band reserved for them.
+	ShedRetransmit uint64
+}
+
+// tokenBucket is one source's budget. tokens ranges over
+// [-burst, burst]: the positive half is spendable by anyone, the
+// negative half only by retransmissions.
+type tokenBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+type rateLimiter struct {
+	rate  float64 // tokens per second per source
+	burst float64
+
+	mu      sync.Mutex
+	sources map[smr.NodeID]*tokenBucket
+
+	admitted       atomic.Uint64
+	shedFresh      atomic.Uint64
+	shedRetransmit atomic.Uint64
+}
+
+// admit charges one token to from's bucket and reports whether the
+// message may proceed. Called from read loops with the transport's
+// monotonic clock; concurrent calls for the same source serialize on
+// the limiter mutex.
+func (rl *rateLimiter) admit(now time.Duration, from smr.NodeID, m smr.Message) bool {
+	if !from.IsClient() {
+		return true // replica traffic is never limited
+	}
+	retransmit := smr.IsRetransmit(m)
+	rl.mu.Lock()
+	b := rl.sources[from]
+	if b == nil {
+		if len(rl.sources) >= maxLimiterSources {
+			rl.mu.Unlock()
+			rl.admitted.Add(1)
+			return true // over the tracking cap: fail open
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.sources[from] = b
+	}
+	if dt := now - b.last; dt > 0 {
+		b.tokens += rl.rate * dt.Seconds()
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+	}
+	b.last = now
+	floor := 0.0
+	if retransmit {
+		floor = -rl.burst
+	}
+	ok := b.tokens >= floor+1
+	if ok {
+		b.tokens--
+	}
+	rl.mu.Unlock()
+	switch {
+	case ok:
+		rl.admitted.Add(1)
+	case retransmit:
+		rl.shedRetransmit.Add(1)
+	default:
+		rl.shedFresh.Add(1)
+	}
+	return ok
+}
+
+func (rl *rateLimiter) stats() RateLimitStats {
+	rl.mu.Lock()
+	n := len(rl.sources)
+	rl.mu.Unlock()
+	return RateLimitStats{
+		Sources:        n,
+		Admitted:       rl.admitted.Load(),
+		ShedFresh:      rl.shedFresh.Load(),
+		ShedRetransmit: rl.shedRetransmit.Load(),
+	}
+}

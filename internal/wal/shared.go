@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Multi-group sharing. When one process hosts several replication
+// groups (internal/smr.GroupMux), giving each group its own Log would
+// multiply fsyncs: G groups group-committing independently cost G
+// journal writes per batch window on the same device. Shared funnels
+// every group's records into one underlying Log — one segment chain,
+// one fsync covering whichever groups had records in the batch — by
+// prefixing each payload with its 4-byte little-endian group ID. Each
+// group sees the familiar WAL interface through its GroupLog view:
+// Replay yields only that group's records (prefix stripped), so
+// per-group recovery code is identical to the single-group case, and
+// each group independently recovers its own longest durable prefix.
+//
+// Checkpoint truncation is the one operation that must coordinate:
+// group g stabilizing a checkpoint makes g's earlier records dead
+// weight, but the same segments still hold other groups' live records.
+// GroupLog.TruncateFront therefore only raises g's keep floor; the
+// shared log physically truncates at the minimum floor across all
+// registered groups — segments are reclaimed once every group has
+// checkpointed past them.
+
+// WAL is the durable-log interface the replica's durability layer
+// writes to: *Log implements it directly (one group owning one log),
+// and *GroupLog implements it as one group's view of a Shared log.
+type WAL interface {
+	// Append frames payload into the log and returns its LSN. Nothing
+	// is durable until Sync returns.
+	Append(payload []byte) (uint64, error)
+	// Sync makes every record appended so far durable (group commit).
+	Sync() error
+	// Replay calls fn for each record of the valid durable prefix in
+	// LSN order.
+	Replay(fn func(lsn uint64, payload []byte) error) error
+	// TruncateFront declares records below keep dead; storage is
+	// reclaimed at whole-segment granularity when safe.
+	TruncateFront(keep uint64) error
+}
+
+// groupPrefix is the per-record overhead Shared adds: a u32 group ID.
+const groupPrefix = 4
+
+// Shared multiplexes one Log across several groups. Hand each group
+// the view returned by Group; the underlying log's lifecycle (Open,
+// Close) stays with the caller.
+type Shared struct {
+	log *Log
+
+	mu     sync.Mutex
+	floors map[uint32]uint64 // per-group TruncateFront floors
+}
+
+// NewShared wraps log for multi-group use. The caller keeps ownership
+// of log's lifecycle but must route all appends through group views —
+// bare appends would replay as garbage group IDs.
+func NewShared(log *Log) *Shared {
+	return &Shared{log: log, floors: make(map[uint32]uint64)}
+}
+
+// Log returns the underlying log (for Close and stats).
+func (s *Shared) Log() *Log { return s.log }
+
+// Group returns group id's view of the shared log, registering its
+// truncation floor. Every group hosted on the process must obtain its
+// view before any group checkpoints, or truncation could reclaim
+// segments an unregistered group still needs on replay.
+func (s *Shared) Group(id uint32) *GroupLog {
+	s.mu.Lock()
+	if _, ok := s.floors[id]; !ok {
+		s.floors[id] = 0
+	}
+	s.mu.Unlock()
+	return &GroupLog{s: s, id: id}
+}
+
+// raiseFloor records group id's new keep floor and returns the minimum
+// across all groups — the LSN below which no group needs anything.
+func (s *Shared) raiseFloor(id uint32, keep uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep > s.floors[id] {
+		s.floors[id] = keep
+	}
+	min := uint64(0)
+	first := true
+	for _, f := range s.floors {
+		if first || f < min {
+			min, first = f, false
+		}
+	}
+	return min
+}
+
+// GroupLog is one group's WAL view of a Shared log. It is safe for
+// concurrent use (the underlying Log serializes internally).
+type GroupLog struct {
+	s  *Shared
+	id uint32
+}
+
+// GroupID returns the group this view writes for.
+func (g *GroupLog) GroupID() uint32 { return g.id }
+
+// Append implements WAL, framing payload under this group's ID. The
+// returned LSN is from the shared sequence — gaps from other groups'
+// records are expected and harmless (replica recovery keys off its own
+// record contents, not LSN density).
+func (g *GroupLog) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 {
+		return 0, fmt.Errorf("wal: empty group record")
+	}
+	buf := make([]byte, groupPrefix+len(payload))
+	putU32(buf, g.id)
+	copy(buf[groupPrefix:], payload)
+	return g.s.log.Append(buf)
+}
+
+// Sync implements WAL. One Sync makes every group's appended records
+// durable — concurrent group batches amortize into shared fsyncs.
+func (g *GroupLog) Sync() error { return g.s.log.Sync() }
+
+// Replay implements WAL, yielding only this group's records with the
+// group prefix stripped. Records of other groups — and any bare
+// (unprefixed short) record — are skipped, so each group independently
+// replays its own longest durable prefix.
+func (g *GroupLog) Replay(fn func(lsn uint64, payload []byte) error) error {
+	return g.s.log.Replay(func(lsn uint64, payload []byte) error {
+		if len(payload) < groupPrefix || getU32(payload) != g.id {
+			return nil
+		}
+		return fn(lsn, payload[groupPrefix:])
+	})
+}
+
+// TruncateFront implements WAL by raising this group's keep floor; the
+// shared log truncates at the minimum floor across groups, so no
+// group's checkpoint can reclaim segments another group still needs.
+func (g *GroupLog) TruncateFront(keep uint64) error {
+	min := g.s.raiseFloor(g.id, keep)
+	if min == 0 {
+		return nil // some group has not checkpointed yet
+	}
+	return g.s.log.TruncateFront(min)
+}
+
+var (
+	_ WAL = (*Log)(nil)
+	_ WAL = (*GroupLog)(nil)
+)

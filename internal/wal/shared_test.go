@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// collectStr replays g into a slice of payload strings.
+func collectStr(t *testing.T, g WAL) []string {
+	t.Helper()
+	var out []string
+	if err := g.Replay(func(_ uint64, p []byte) error {
+		out = append(out, string(p))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestSharedInterleavedReplayIsolation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	s := NewShared(l)
+	a, b := s.Group(1), s.Group(2)
+	var wantA, wantB []string
+	for i := 0; i < 10; i++ {
+		ra, rb := fmt.Sprintf("a%02d", i), fmt.Sprintf("b%02d", i)
+		if _, err := a.Append([]byte(ra)); err != nil {
+			t.Fatalf("a.Append: %v", err)
+		}
+		if _, err := b.Append([]byte(rb)); err != nil {
+			t.Fatalf("b.Append: %v", err)
+		}
+		wantA, wantB = append(wantA, ra), append(wantB, rb)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for name, tc := range map[string]struct {
+		g    WAL
+		want []string
+	}{"group1": {a, wantA}, "group2": {b, wantB}} {
+		got := collectStr(t, tc.g)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s replayed %d records, want %d", name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s record %d = %q, want %q (prefix must be stripped, order preserved)", name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestSharedTruncateWaitsForSlowestGroup(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	s := NewShared(l)
+	a, b := s.Group(1), s.Group(2)
+	var lastA uint64
+	for i := 0; i < 40; i++ {
+		if lastA, err = a.Append([]byte(fmt.Sprintf("a%02d", i))); err != nil {
+			t.Fatalf("a.Append: %v", err)
+		}
+		if _, err := b.Append([]byte(fmt.Sprintf("b%02d", i))); err != nil {
+			t.Fatalf("b.Append: %v", err)
+		}
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	before := l.Segments()
+	if before < 3 {
+		t.Fatalf("test needs several segments, got %d", before)
+	}
+	// Group 1 checkpoints near the tail; group 2 has not checkpointed at
+	// all. Nothing may be reclaimed: group 2 still needs every segment.
+	if err := a.TruncateFront(lastA); err != nil {
+		t.Fatalf("a.TruncateFront: %v", err)
+	}
+	if got := l.Segments(); got != before {
+		t.Fatalf("truncation reclaimed %d segments while a group had not checkpointed", before-got)
+	}
+	if got := collectStr(t, b); len(got) != 40 {
+		t.Fatalf("group 2 lost records to group 1's checkpoint: %d/40 remain", len(got))
+	}
+	// Group 2 catches up: now the minimum floor moves and segments fall.
+	if err := b.TruncateFront(lastA); err != nil {
+		t.Fatalf("b.TruncateFront: %v", err)
+	}
+	if got := l.Segments(); got >= before {
+		t.Fatalf("no segments reclaimed after every group checkpointed (%d before, %d after)", before, got)
+	}
+	// The contract survives: every record at or above each group's floor
+	// is still replayable.
+	gotA := collectStr(t, a)
+	if len(gotA) == 0 || gotA[len(gotA)-1] != "a39" {
+		t.Fatalf("group 1 lost its records above the keep floor: %v", gotA)
+	}
+}
+
+func TestSharedRecoversPerGroupPrefixAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s := NewShared(l)
+	a, b := s.Group(1), s.Group(2)
+	for i := 0; i < 5; i++ {
+		a.Append([]byte(fmt.Sprintf("a%02d", i)))
+		b.Append([]byte(fmt.Sprintf("b%02d", i)))
+	}
+	// The final record belongs to group 1 only: tear it.
+	if _, err := a.Append([]byte("a-torn")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := SegmentFiles(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("SegmentFiles: %v (%d)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	recs, err := InspectSegment(last)
+	if err != nil {
+		t.Fatalf("InspectSegment: %v", err)
+	}
+	tail := recs[len(recs)-1]
+	if err := os.Truncate(last, tail.Offset+6); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	s2 := NewShared(l2)
+	gotA, gotB := collectStr(t, s2.Group(1)), collectStr(t, s2.Group(2))
+	if len(gotA) != 5 || gotA[len(gotA)-1] != "a04" {
+		t.Fatalf("group 1 prefix after torn tail = %v, want a00..a04", gotA)
+	}
+	if len(gotB) != 5 || gotB[len(gotB)-1] != "b04" {
+		t.Fatalf("group 2 lost records to group 1's torn tail: %v", gotB)
+	}
+}
+
+func TestSharedRejectsEmptyRecord(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := NewShared(l).Group(1).Append(nil); err == nil {
+		t.Fatal("empty group record accepted; it would replay as nothing")
+	}
+}

@@ -74,10 +74,18 @@ type Client struct {
 	pending map[uint64]*pendingReq // by request timestamp
 	timers  map[smr.TimerID]uint64 // retransmission timer -> timestamp
 
+	// downPeers mirrors the runtime's connection-health signal
+	// (PeerDown/PeerUp are edge-triggered; view rotation wants level
+	// state).
+	downPeers map[smr.NodeID]bool
+
 	// Committed counts successful requests (exported for tests).
 	Committed uint64
 	// Retransmits counts timer_c expirations.
 	Retransmits uint64
+	// HealthRotations counts view-guess rotations triggered by PeerDown
+	// (exported for tests and stats).
+	HealthRotations uint64
 }
 
 // NewClient builds a client. It returns an error if the configuration
@@ -106,8 +114,9 @@ func NewClient(id smr.NodeID, cfg ClientConfig) (*Client, error) {
 	}
 	return &Client{
 		cfg: cfg, id: id, n: cfg.N, t: cfg.T, suite: cfg.Suite, ts: cfg.TSBase,
-		pending: make(map[uint64]*pendingReq),
-		timers:  make(map[smr.TimerID]uint64),
+		pending:   make(map[uint64]*pendingReq),
+		timers:    make(map[smr.TimerID]uint64),
+		downPeers: make(map[smr.NodeID]bool),
 	}, nil
 }
 
@@ -160,6 +169,41 @@ func (c *Client) Step(ev smr.Event) {
 		}
 	case smr.Recv:
 		c.onRecv(e.From, e.Msg)
+	case smr.PeerDown:
+		c.onPeerDown(e.Peer)
+	case smr.PeerUp:
+		delete(c.downPeers, e.Peer)
+	}
+}
+
+// onPeerDown consumes the runtime's connection-health signal: when the
+// current view guess's primary goes dark, rotate the guess to the next
+// view with a live primary and re-send pending requests there, instead
+// of burning a full request timeout discovering the same fault. The
+// signal is advisory and local (a partial partition can sever only our
+// channel), so rotation never skips the protocol's safety interlocks —
+// the rotated-to primary still needs the usual t+1 reply quorum, and if
+// the guess is wrong the timeout path still fires and broadcasts.
+func (c *Client) onPeerDown(peer smr.NodeID) {
+	if peer.IsClient() || peer == c.id {
+		return
+	}
+	c.downPeers[peer] = true
+	if peer != Primary(c.n, c.t, c.view) {
+		return // followers answer retransmissions; only a dead primary stalls us
+	}
+	// Scan forward for the next view whose primary is not known down,
+	// bounded by one full rotation of the C(n, t+1) synchronous groups.
+	// With every primary down there is nowhere better to point: keep the
+	// guess and let timers drive retransmission.
+	for i := 1; i <= GroupCount(c.n, c.t); i++ {
+		v := c.view + smr.View(i)
+		if !c.downPeers[Primary(c.n, c.t, v)] {
+			c.view = v
+			c.HealthRotations++
+			c.resendPending()
+			return
+		}
 	}
 }
 
@@ -328,9 +372,15 @@ func (c *Client) onSuspect(from smr.NodeID, m *MsgSuspect) {
 	for _, id := range SyncGroup(c.n, c.t, c.view) {
 		c.env.Send(id, m)
 	}
-	// Re-send in timestamp order: the new primary's admission queue is
-	// per-client FIFO, and a gap-free ascending stream is what keeps
-	// the at-most-once execution counter from skipping any of them.
+	c.resendPending()
+}
+
+// resendPending re-sends every pending request to the current view
+// guess's primary and re-arms the timers. Re-sends go in timestamp
+// order: the primary's admission queue is per-client FIFO, and a
+// gap-free ascending stream is what keeps the at-most-once execution
+// counter from skipping any of them.
+func (c *Client) resendPending() {
 	resend := make([]*pendingReq, 0, len(c.pending))
 	for _, p := range c.pending {
 		resend = append(resend, p)

@@ -1,0 +1,184 @@
+package xpaxos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+)
+
+// clientEnv is a scripted smr.Env for driving a Client directly.
+type clientEnv struct {
+	id    smr.NodeID
+	now   time.Duration
+	sends []struct {
+		to smr.NodeID
+		m  smr.Message
+	}
+	nextTimer smr.TimerID
+}
+
+func (e *clientEnv) ID() smr.NodeID     { return e.id }
+func (e *clientEnv) Now() time.Duration { return e.now }
+func (e *clientEnv) Send(to smr.NodeID, m smr.Message) {
+	e.sends = append(e.sends, struct {
+		to smr.NodeID
+		m  smr.Message
+	}{to, m})
+}
+func (e *clientEnv) SetTimer(d time.Duration, kind string) smr.TimerID {
+	e.nextTimer++
+	return e.nextTimer
+}
+func (e *clientEnv) CancelTimer(id smr.TimerID)                   {}
+func (e *clientEnv) Defer(kind string, work func(), apply func()) { work(); apply() }
+
+// replicatesTo returns the primaries that received a MsgReplicate, in
+// send order.
+func replicatesTo(env *clientEnv) []smr.NodeID {
+	var out []smr.NodeID
+	for _, s := range env.sends {
+		if _, ok := s.m.(*MsgReplicate); ok {
+			out = append(out, s.to)
+		}
+	}
+	return out
+}
+
+func newHealthTestClient(t *testing.T, env *clientEnv, n int) *Client {
+	t.Helper()
+	c, err := NewClient(env.id, ClientConfig{
+		N: n, T: 1,
+		Suite:          crypto.NewSimSuite(1),
+		RequestTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c.Init(env)
+	c.Step(smr.Start{})
+	return c
+}
+
+// TestClientRotatesViewOnPrimaryDown is the PeerDown regression test:
+// when the transport reports the current primary dark, the client must
+// rotate its view guess and re-send pending requests to the new
+// primary immediately — well before the request timeout would fire the
+// Algorithm 4 broadcast.
+func TestClientRotatesViewOnPrimaryDown(t *testing.T) {
+	env := &clientEnv{id: smr.ClientIDBase}
+	c := newHealthTestClient(t, env, 3)
+	c.Invoke(kv.PutOp("k", []byte("v")))
+
+	p0 := Primary(3, 1, 0)
+	if got := replicatesTo(env); len(got) != 1 || got[0] != p0 {
+		t.Fatalf("initial send went to %v, want [%d]", got, p0)
+	}
+
+	// A non-primary going down must not rotate: followers only answer
+	// retransmissions, and churning the guess would desynchronize the
+	// client from a healthy primary. Replica 2 is passive in view 0.
+	c.Step(smr.PeerDown{Peer: 2, LastSeen: time.Second})
+	if c.View() != 0 || c.HealthRotations != 0 {
+		t.Fatalf("rotated on passive PeerDown: view=%d rotations=%d", c.View(), c.HealthRotations)
+	}
+
+	// The primary goes dark: rotate ahead of the timeout and re-send.
+	c.Step(smr.PeerDown{Peer: p0, LastSeen: time.Second})
+	if c.HealthRotations != 1 {
+		t.Fatalf("HealthRotations = %d, want 1", c.HealthRotations)
+	}
+	if c.View() == 0 {
+		t.Fatal("view guess did not move off the dead primary")
+	}
+	newPrimary := Primary(3, 1, c.View())
+	if newPrimary == p0 {
+		t.Fatalf("rotated view %d still has the dead primary %d", c.View(), p0)
+	}
+	sends := replicatesTo(env)
+	if len(sends) != 2 || sends[1] != newPrimary {
+		t.Fatalf("pending request not re-sent to the new primary: sends=%v, want [... %d]", sends, newPrimary)
+	}
+	if c.Retransmits != 0 {
+		t.Fatal("rotation burned a retransmission; it must act before the timeout path")
+	}
+}
+
+// TestClientRotationSkipsKnownDownPrimaries: with several peers dark,
+// the rotation lands on the first view whose primary is believed live;
+// with every replica dark it stays put (the timers still drive
+// recovery, and a wrong guess must not spin the view counter); and
+// PeerUp clears the level state so a recovered replica is a rotation
+// target again. Run at n=5 (C(5,2)=10 views, primaries 0,1,2,3) so
+// there are enough distinct primaries to skip across.
+func TestClientRotationSkipsKnownDownPrimaries(t *testing.T) {
+	const n = 5
+	env := &clientEnv{id: smr.ClientIDBase}
+	c := newHealthTestClient(t, env, n)
+	c.Invoke(kv.PutOp("k", []byte("v")))
+
+	// Views 0-3 have primary 0, views 4-6 primary 1: killing 1 then 0
+	// must skip all seven and land on the first view led by 2.
+	c.Step(smr.PeerDown{Peer: 1, LastSeen: time.Second})
+	c.Step(smr.PeerDown{Peer: 0, LastSeen: time.Second})
+	if c.HealthRotations != 1 {
+		t.Fatalf("HealthRotations = %d, want 1", c.HealthRotations)
+	}
+	live := Primary(n, 1, c.View())
+	if live == 0 || live == 1 {
+		t.Fatalf("rotation landed on a known-down primary %d (view %d)", live, c.View())
+	}
+
+	// Kill everything else: replicas 3 and 4 are not the current
+	// primary (no rotation), then the current primary dies with every
+	// primary candidate down — nowhere better to point, the view holds.
+	c.Step(smr.PeerDown{Peer: 3, LastSeen: time.Second})
+	c.Step(smr.PeerDown{Peer: 4, LastSeen: time.Second})
+	viewBefore := c.View()
+	c.Step(smr.PeerDown{Peer: live, LastSeen: time.Second})
+	if c.View() != viewBefore || c.HealthRotations != 1 {
+		t.Fatalf("view moved to %d (rotations %d) with every primary down; should hold at %d",
+			c.View(), c.HealthRotations, viewBefore)
+	}
+
+	// Replica 0 recovers, then the current primary's link flaps down
+	// again: the rotation must now find its way back to 0.
+	c.Step(smr.PeerUp{Peer: 0, RTT: time.Millisecond})
+	c.Step(smr.PeerUp{Peer: live, RTT: time.Millisecond})
+	c.Step(smr.PeerDown{Peer: live, LastSeen: time.Second})
+	if got := Primary(n, 1, c.View()); got != 0 {
+		t.Fatalf("after PeerUp(0), rotation picked %d (view %d), want the recovered 0", got, c.View())
+	}
+}
+
+// TestClientHealthRotationEndToEnd: in the simulator, a client fed by
+// health monitors recovers from a primary crash faster than its
+// request timeout — the rotation (not the timeout broadcast) is what
+// carries the pending request to the live follower.
+func TestClientHealthRotationEndToEnd(t *testing.T) {
+	const reqTimeout = 5 * time.Second
+	c := newCluster(t, clusterOpts{
+		t:              1,
+		clients:        1,
+		reqTimeout:     reqTimeout,
+		probeInterval:  50 * time.Millisecond,
+		probeTimeout:   200 * time.Millisecond,
+		monitorClients: true,
+	})
+	ops := make([][]byte, 8)
+	for i := range ops {
+		ops[i] = kv.PutOp("k", []byte{byte(i)})
+	}
+	done := c.invokeSeq(0, ops, nil)
+	c.net.At(300*time.Millisecond, func() { c.net.Crash(0) })
+	c.run(3 * time.Second) // well under reqTimeout
+	cl := c.clients[0]
+	if cl.HealthRotations == 0 {
+		t.Fatal("client never rotated on the health signal")
+	}
+	if *done < 2 {
+		t.Fatalf("committed %d ops in 3s; rotation should beat the %v request timeout", *done, reqTimeout)
+	}
+}

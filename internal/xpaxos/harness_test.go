@@ -45,6 +45,10 @@ type clusterOpts struct {
 	// prober does.
 	probeInterval time.Duration
 	probeTimeout  time.Duration
+	// monitorClients includes the clients in the health-monitor set, so
+	// they receive PeerDown/PeerUp for replicas (the live transport's
+	// prober feeds clients the same way).
+	monitorClients bool
 }
 
 func newCluster(t *testing.T, opts clusterOpts) *cluster {
@@ -130,6 +134,11 @@ func newCluster(t *testing.T, opts clusterOpts) *cluster {
 		ids := make([]smr.NodeID, n)
 		for i := range ids {
 			ids[i] = smr.NodeID(i)
+		}
+		if opts.monitorClients {
+			for i := 0; i < opts.clients; i++ {
+				ids = append(ids, smr.ClientIDBase+smr.NodeID(i))
+			}
 		}
 		c.net.StartHealthMonitors(ids...)
 	}

@@ -1,0 +1,203 @@
+package xpaxos
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/xft-consensus/xft/internal/apps/kv"
+	"github.com/xft-consensus/xft/internal/crypto"
+	"github.com/xft-consensus/xft/internal/smr"
+	"github.com/xft-consensus/xft/internal/wal"
+)
+
+// TestMultiGroupCrashRecovery extends the crash-point matrix to the
+// sharded deployment: four groups' replica-1 instances share one
+// durable log (wal.Shared) on one "machine", the machine crashes
+// mid-load, and the disk is surgically cut at a record boundary that
+// splits the groups — the cut lands after group 1's final record but
+// before groups 2 and 3 wrote theirs. Each group must then recover its
+// own longest durable prefix independently: groups whose records all
+// precede the cut lose nothing, groups behind the cut lose exactly
+// their tail, and no group's damage bleeds into another group's
+// replay. A torn-tail variant tears the very last record mid-frame,
+// which may only affect the group that wrote it.
+//
+// The groups run as four single-group clusters driven in lockstep
+// rounds, which is exactly how records from independent groups
+// interleave in a shared log: the round-robin schedule makes the
+// on-disk interleaving deterministic, so the cut points are too.
+func TestMultiGroupCrashRecovery(t *testing.T) {
+	t.Run("split-cut", func(t *testing.T) { runMultiGroupCrash(t, "split-cut") })
+	t.Run("torn-tail", func(t *testing.T) { runMultiGroupCrash(t, "torn-tail") })
+}
+
+func runMultiGroupCrash(t *testing.T, point string) {
+	const (
+		groups = 4
+		rounds = 8
+		chk    = 4
+	)
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	shared := wal.NewShared(wlog)
+
+	key := func(g, i int) string { return fmt.Sprintf("g%d-r%02d", g, i) }
+	clusters := make([]*cluster, groups)
+	for g := range clusters {
+		glog := shared.Group(uint32(g))
+		clusters[g] = newCluster(t, clusterOpts{
+			clients: 1,
+			seed:    int64(g + 1),
+			cfgMod: func(id smr.NodeID, cfg *Config) {
+				cfg.CheckpointInterval = chk
+				if id == 1 {
+					cfg.WAL = glog
+				}
+			},
+		})
+	}
+
+	// Drive the groups in round-robin: one committed op per group per
+	// round, one distinct key per op, so the shared log interleaves all
+	// four groups and the recovered stores reveal exactly which ops
+	// survived.
+	for i := 0; i < rounds; i++ {
+		for g, c := range clusters {
+			done := c.invokeSeq(0, [][]byte{kv.PutOp(key(g, i), []byte(key(g, i)))}, nil)
+			c.run(2 * time.Second)
+			if *done != 1 {
+				t.Fatalf("group %d round %d: op did not commit", g, i)
+			}
+		}
+	}
+	for g, c := range clusters {
+		c.run(time.Second) // quiesce: checkpoints stabilize, WAL drains
+		if err := c.replicas[1].WALError(); err != nil {
+			t.Fatalf("group %d WAL failed during load: %v", g, err)
+		}
+		if got := c.replicas[1].ex; got != rounds {
+			t.Fatalf("group %d executed to %d before the crash, want %d", g, got, rounds)
+		}
+	}
+
+	// The machine crashes: all four groups lose their replica 1 at once
+	// (they share the process and the disk).
+	for _, c := range clusters {
+		c.net.Crash(1)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatalf("wal.Close: %v", err)
+	}
+
+	// Carve the crash point. Records carry a 4-byte group prefix, then
+	// the replica's record tag; commit records of group g in the final
+	// round are located by inspection, not by assuming layout.
+	segs, err := wal.SegmentFiles(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segment listing: %v (%d segments)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	recs, err := wal.InspectSegment(last)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("inspect %s: %v (%d records)", last, err, len(recs))
+	}
+	lastCommit := make(map[int]wal.RecordPos) // group -> its final commit record
+	for _, rec := range recs {
+		if len(rec.Payload) > 5 && rec.Payload[4] == walRecCommit {
+			g := int(rec.Payload[0]) // group IDs < 256 here
+			lastCommit[g] = rec
+		}
+	}
+	if len(lastCommit) != groups {
+		t.Fatalf("found final commit records for %d groups, want %d", len(lastCommit), groups)
+	}
+	want := map[int]int{}
+	switch point {
+	case "split-cut":
+		// Cut cleanly right after group 1's final record: groups 0 and 1
+		// committed round rounds-1 before it, groups 2 and 3 after.
+		cut := lastCommit[1]
+		end := cut.Offset + 8 + int64(len(cut.Payload))
+		if err := os.Truncate(last, end); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		want[0], want[1], want[2], want[3] = rounds, rounds, rounds-1, rounds-1
+	case "torn-tail":
+		// Tear the final record mid-frame: only its writer (group 3, the
+		// last in the round-robin) may lose anything.
+		tail := recs[len(recs)-1]
+		if err := os.Truncate(last, tail.Offset+6); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		want[0], want[1], want[2] = rounds, rounds, rounds
+		want[3] = rounds
+		if tail.Offset == lastCommit[3].Offset {
+			want[3] = rounds - 1
+		}
+	default:
+		t.Fatalf("unknown crash point %q", point)
+	}
+
+	// Recover all four groups from the one damaged disk.
+	wlog2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open after crash: %v", err)
+	}
+	shared2 := wal.NewShared(wlog2)
+	for g, c := range clusters {
+		store2 := kv.NewStore()
+		cfg2 := Config{
+			N: c.n, T: c.tf,
+			Suite:              crypto.NewMeter(c.suite),
+			Delta:              100 * time.Millisecond,
+			BatchSize:          4,
+			BatchTimeout:       2 * time.Millisecond,
+			RequestTimeout:     500 * time.Millisecond,
+			ViewChangeTimeout:  400 * time.Millisecond,
+			CheckpointInterval: chk,
+			WAL:                shared2.Group(uint32(g)),
+		}
+		r2 := NewReplica(1, cfg2, store2)
+
+		keys := make([]string, rounds)
+		for i := range keys {
+			keys[i] = key(g, i)
+		}
+		m := prefixLen(t, store2, keys)
+		if m != want[g] {
+			t.Errorf("%s: group %d recovered %d ops, want %d (independent per-group prefix)", point, g, m, want[g])
+		}
+		if smr.SeqNum(m) != r2.Executed() {
+			t.Fatalf("group %d: store holds %d ops but the replica recovered to %d", g, m, r2.Executed())
+		}
+		// No cross-group bleed: the store must hold nothing but this
+		// group's keys.
+		for og := 0; og < groups; og++ {
+			if og == g {
+				continue
+			}
+			if _, ok := store2.Get(key(og, 0)); ok {
+				t.Fatalf("group %d recovered group %d's data", g, og)
+			}
+		}
+
+		// Rejoin and keep committing: recovery must leave each group
+		// live, not just consistent.
+		c.net.Restart(1, r2)
+		c.replicas[1] = r2
+		c.stores[1] = store2
+	}
+	for g, c := range clusters {
+		op := kv.PutOp(key(g, rounds), []byte(key(g, rounds)))
+		done := c.invokeSeq(0, [][]byte{op}, nil)
+		c.run(10 * time.Second)
+		if *done != 1 {
+			t.Fatalf("group %d: post-recovery op did not commit", g)
+		}
+	}
+}

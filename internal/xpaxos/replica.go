@@ -167,7 +167,7 @@ type Replica struct {
 	// view changes — enterView must not reset them: unlike the crypto
 	// pipeline, the durable log spans views, and the in-flight flag is
 	// released by a completion that is deliberately not epoch-guarded.
-	wal         *wal.Log
+	wal         wal.WAL
 	walPending  []walRecord
 	walInFlight bool
 	walErr      error
